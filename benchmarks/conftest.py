@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once (timed via ``benchmark.pedantic``), prints the same
+rows/series the paper reports, persists them under
+``benchmarks/results/``, and asserts the evaluation's *shape* (who wins,
+directionally) rather than absolute numbers.
+
+Scale is controlled by ``REPRO_SCALE`` (small | medium | paper).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import default_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The experiment configuration for this benchmark session."""
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def trained_elda(config):
+    """One trained ELDA-Net shared by the interpretability benches.
+
+    Figures 8, 9, and 10 all analyze a trained full ELDA-Net on the
+    PhysioNet mortality task; training once keeps the suite tractable.
+    """
+    from repro.experiments import trained_model
+    model, splits, metrics = trained_model("ELDA-Net", "physionet2012",
+                                           "mortality", config, seed=0)
+    return model, splits, metrics
+
+
+@pytest.fixture(scope="session")
+def persist():
+    """Write a rendered experiment output to benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _persist(name, text):
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _persist
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

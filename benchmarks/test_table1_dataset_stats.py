@@ -1,0 +1,42 @@
+"""Table I — dataset statistics for both cohorts.
+
+Paper values (at full scale):
+
+==============================  =============  ===========
+                                PhysioNet2012  MIMIC-III
+==============================  =============  ===========
+admissions                      12000          21139
+survivor : non-survivor         10293 : 1707   18342 : 2797
+LOS<=7 : LOS>7                  4095 : 7738*   9134 : 12005
+avg records / patient           359.19         346.05
+features                        37             37
+missing rate                    79.78%         80.52%
+==============================  =============  ===========
+
+Shape assertions: MIMIC is the larger cohort, survivors and LOS>7 are the
+majority classes, mortality prevalence is low (paper ~13-14%), the
+missing rate sits near 80%, and the record density is in the paper's
+~300-360 band.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_table1, run_table1
+
+
+def test_table1(benchmark, config, persist):
+    results = run_once(benchmark, lambda: run_table1(scale=config.scale))
+    persist("table1_dataset_stats", render_table1(results))
+
+    phys = results["PhysioNet2012"]
+    mimic = results["MIMIC-III"]
+
+    assert mimic["admissions"] > phys["admissions"]
+    for stats in (phys, mimic):
+        total = stats["survivor"] + stats["non_survivor"]
+        mortality = stats["non_survivor"] / total
+        assert 0.05 < mortality < 0.30            # paper: ~0.14 / ~0.13
+        assert stats["los_gt_7"] > stats["los_le_7"]  # LOS>7 majority
+        assert stats["num_features"] == 37
+        assert 0.70 < stats["missing_rate"] < 0.90    # paper: ~0.80
+        assert 200 < stats["avg_records_per_patient"] < 500

@@ -1,0 +1,38 @@
+"""Table II — Patient A's essential medical features over time.
+
+The paper tabulates the standardized values of ten case-study features at
+selected hours for a DM patient with diabetic lactic acidosis.  Shape
+assertions follow the DLA clinical signature the paper's Section V-D
+reads off the table:
+
+* Glucose and Lactate strongly elevated during the crisis (hours ~16-30);
+* pH, HCO3, Temp, and MAP depressed during the crisis;
+* the DLA-irrelevant HCT and WBC stay near baseline throughout;
+* by hour 47, Glucose has come well down from its crisis peak.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_table2, run_table2
+
+
+def test_table2(benchmark, config, persist):
+    results = run_once(benchmark, lambda: run_table2(config))
+    persist("table2_patient_a", render_table2(results))
+
+    crisis_hours = (19, 25)
+
+    def crisis_mean(feature):
+        return sum(results[feature][h] for h in crisis_hours) / len(crisis_hours)
+
+    assert crisis_mean("Glucose") > 1.5
+    assert crisis_mean("Lactate") > 1.0
+    assert crisis_mean("pH") < -0.5
+    assert crisis_mean("HCO3") < -0.3
+    assert crisis_mean("Temp") < 0.0
+    assert crisis_mean("MAP") < 0.0
+    # Irrelevant features stay near their (personal) baseline band.
+    assert abs(crisis_mean("HCT")) < 1.5
+    assert abs(crisis_mean("WBC")) < 1.5
+    # Treatment brings Glucose down by the end of the stay.
+    assert results["Glucose"][47] < crisis_mean("Glucose") - 1.0

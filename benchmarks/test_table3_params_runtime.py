@@ -1,0 +1,45 @@
+"""Table III — model complexity and runtime.
+
+Paper's shape (GPU testbed; our substrate is numpy on CPU, so absolute
+times differ but orderings should hold):
+
+* LR / FM / AFM have < 1k parameters; every temporal model has 10k-200k;
+* ConCare is the largest model;
+* ELDA-Net sits in the moderate tens-of-thousands band (~53k in the
+  paper) — far below ConCare;
+* ELDA-Net-T costs barely more than GRU per batch, ELDA-Net-F adds the
+  feature-interaction overhead, and the full ELDA-Net is the slowest of
+  the three variants (the paper's Table III ordering);
+* ConCare is among the slowest models per training batch.
+"""
+
+from conftest import run_once
+
+from repro.experiments import TABLE3_MODELS, render_table3, run_table3
+
+
+def test_table3(benchmark, config, persist):
+    results = run_once(benchmark,
+                       lambda: run_table3(config, num_batches=3))
+    persist("table3_params_runtime", render_table3(results))
+
+    params = {name: m["params"] for name, m in results.items()}
+    train_time = {name: m["train_seconds_per_batch"]
+                  for name, m in results.items()}
+
+    # Pooled models are tiny.
+    for name in ("LR", "FM", "AFM"):
+        assert params[name] < 1_000, name
+    # ConCare is the largest model, as in the paper.
+    assert max(params, key=params.get) == "ConCare"
+    # ELDA-Net is moderate: bigger than GRU, far smaller than ConCare.
+    assert params["GRU"] < params["ELDA-Net"] < params["ConCare"]
+    # Paper band for ELDA-Net is ~53k.
+    assert 30_000 < params["ELDA-Net"] < 90_000
+
+    # Runtime ordering of the ELDA variants (Table III).
+    assert train_time["ELDA-Net-T"] < train_time["ELDA-Net"]
+    assert train_time["ELDA-Net-Fbi"] <= train_time["ELDA-Net"] * 1.2
+    # ConCare is among the slowest models per batch.
+    slowest = sorted(train_time, key=train_time.get, reverse=True)[:4]
+    assert "ConCare" in slowest, slowest

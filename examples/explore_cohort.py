@@ -1,0 +1,62 @@
+"""Explore the synthetic EMR substrate: Table I statistics and beyond.
+
+Prints the dataset statistics the paper's Table I reports, plus the
+simulation-level detail a downstream user should understand before
+training models: the archetype case mix, per-kind observation density,
+and one admission's severity/observation timeline in ASCII.
+
+    python examples/explore_cohort.py [physionet2012|mimic3]
+"""
+
+import sys
+from collections import Counter
+
+import numpy as np
+
+from repro.data import FEATURES, load_cohort
+from repro.experiments import render_table
+
+
+def main():
+    cohort = sys.argv[1] if len(sys.argv) > 1 else "physionet2012"
+    splits = load_cohort(cohort, scale="small")
+    train = splits.train
+
+    print(f"=== {cohort}: Table I statistics (train split) ===")
+    stats = train.statistics()
+    for key, value in stats.items():
+        formatted = f"{value:.4f}" if isinstance(value, float) else value
+        print(f"  {key:<28} {formatted}")
+
+    print("\n=== Archetype case mix ===")
+    mix = Counter(train.archetypes)
+    rows = [[name, str(count), f"{100 * count / len(train):.1f}%",
+             f"{train.mortality[[a == name for a in train.archetypes]].mean():.2f}"]
+            for name, count in mix.most_common()]
+    print(render_table(["archetype", "n", "share", "mortality"], rows))
+
+    print("\n=== Observation density by feature kind ===")
+    kinds = {}
+    for column, spec in enumerate(FEATURES):
+        kinds.setdefault(spec.kind, []).append(train.mask[:, :, column].mean())
+    for kind, rates in sorted(kinds.items()):
+        print(f"  {kind:<6} mean observed fraction: {np.mean(rates):.3f}")
+
+    print("\n=== One admission's timeline ===")
+    # Pick a non-survivor with an acute event for an interesting plot.
+    candidates = [i for i in range(len(train))
+                  if train.mortality[i] == 1 and train.onset_hours[i]]
+    index = candidates[0] if candidates else 0
+    observed_per_hour = train.mask[index].sum(axis=1)
+    print(f"admission {index}: archetype={train.archetypes[index]}, "
+          f"event onset hour={train.onset_hours[index]}, "
+          f"outcome={'died' if train.mortality[index] else 'survived'}")
+    print("observations per hour (informative sampling makes sick hours denser):")
+    peak = max(observed_per_hour.max(), 1)
+    for hour in range(0, train.num_time_steps, 2):
+        bar = "#" * int(20 * observed_per_hour[hour] / peak)
+        print(f"  h{hour:02d} {bar} ({observed_per_hour[hour]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Mini model comparison: a single Figure 6 cell on the console.
+
+Trains a representative subset of the paper's models on one dataset/task
+and prints the metric table.  For the full 13-model x 4-cell grid, run the
+benchmark harness:
+
+    REPRO_SCALE=small pytest benchmarks/test_figure6_main_results.py --benchmark-only
+
+Usage:
+
+    python examples/model_comparison.py [cohort] [task]
+
+with cohort in {physionet2012, mimic3} and task in {mortality, los}.
+"""
+
+import sys
+
+from repro.experiments import (default_config, format_metric, render_table,
+                               run_grid)
+
+MODELS = ("LR", "FM", "GRU", "Dipole_l", "GRU-D", "ELDA-Net")
+
+
+def main():
+    cohort = sys.argv[1] if len(sys.argv) > 1 else "physionet2012"
+    task = sys.argv[2] if len(sys.argv) > 2 else "mortality"
+    config = default_config()
+    config.max_epochs = max(config.max_epochs, 8)
+
+    print(f"Comparing {len(MODELS)} models on {cohort} / {task} "
+          f"(scale={config.scale}, up to {config.max_epochs} epochs) ...")
+    results = run_grid(MODELS, cohort, task, config)
+
+    rows = [
+        [name,
+         str(metrics["params"]),
+         format_metric(metrics["bce"]),
+         format_metric(metrics["auc_roc"]),
+         format_metric(metrics["auc_pr"])]
+        for name, metrics in results.items()
+    ]
+    print()
+    print(render_table(["model", "params", "BCE", "AUC-ROC", "AUC-PR"],
+                       rows))
+
+    best = max(results, key=lambda name: results[name]["auc_pr"])
+    print(f"\nBest AUC-PR: {best} "
+          f"({format_metric(results[best]['auc_pr'])})")
+
+
+if __name__ == "__main__":
+    main()

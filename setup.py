@@ -1,0 +1,4 @@
+"""Setuptools entry point (kept for offline legacy editable installs)."""
+from setuptools import setup
+
+setup()

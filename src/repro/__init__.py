@@ -1,0 +1,28 @@
+"""Reproduction of *ELDA: Learning Explicit Dual-Interactions for
+Healthcare Analytics* (Cai et al., ICDE 2022).
+
+Public API highlights
+---------------------
+``repro.core.ELDA``
+    The end-to-end framework: train, predict, alert, interpret.
+``repro.core.ELDANet`` / ``repro.core.build_variant``
+    The model and its ablation variants.
+``repro.data.load_cohort``
+    Synthetic stand-ins for the PhysioNet 2012 and MIMIC-III cohorts.
+``repro.baselines.build_model``
+    Every baseline from the paper's comparison, by name.
+``repro.metrics``
+    BCE / AUC-ROC / AUC-PR implemented from first principles.
+``repro.nn``
+    The from-scratch autodiff + neural-network substrate everything runs on.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from . import baselines, core, data, experiments, metrics, nn, train
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "data", "core", "baselines", "metrics", "train",
+           "experiments", "__version__"]

@@ -1,0 +1,18 @@
+"""Baseline models from the paper's Figure 6 / Table III comparison."""
+
+from .concare import ConCare, PerFeatureGRU
+from .dipole import Dipole
+from .gru import GRUClassifier
+from .grud import GRUD
+from .pooled import AttentionalFM, FactorizationMachine, LogisticRegression
+from .registry import ALL_MODEL_NAMES, BASELINE_NAMES, build_model
+from .retain import RETAIN
+from .sand import SAnD
+from .stagenet import StageNet
+
+__all__ = [
+    "LogisticRegression", "FactorizationMachine", "AttentionalFM",
+    "GRUClassifier", "RETAIN", "Dipole", "SAnD", "StageNet", "GRUD",
+    "ConCare", "PerFeatureGRU",
+    "BASELINE_NAMES", "ALL_MODEL_NAMES", "build_model",
+]

@@ -1,0 +1,81 @@
+"""Dipole baselines (Ma et al., KDD 2017).
+
+A bidirectional GRU backbone with one of three attention mechanisms over
+the hidden states:
+
+* ``location`` (Dipole_l) — score each step from its own state;
+* ``general``  (Dipole_g) — bilinear score against the last state;
+* ``concat``   (Dipole_c) — additive (Bahdanau) score against the last
+  state.
+
+The attended context is fused with the final state through a tanh layer
+before the output head.  The attention weights are exposed for the
+time-level interpretability comparison of Figure 8 (the paper contrasts
+ELDA's β with Dipole_c's weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import ops
+from ..nn.layers import (AdditiveAttention, BiGRU, Dense, GeneralAttention,
+                         LocationAttention)
+from ..nn.module import Module, Parameter
+
+__all__ = ["Dipole"]
+
+_VARIANTS = ("location", "general", "concat")
+
+
+class Dipole(Module):
+    """Attention-based bidirectional GRU.
+
+    Parameters
+    ----------
+    variant:
+        ``"location"``, ``"general"``, or ``"concat"``.
+    hidden_size:
+        Per-direction GRU size; hidden states have 2x this width.
+    """
+
+    def __init__(self, num_features, rng, variant="location", hidden_size=48,
+                 attention_size=32):
+        super().__init__()
+        if variant not in _VARIANTS:
+            raise ValueError(f"unknown Dipole variant {variant!r}; "
+                             f"choose from {_VARIANTS}")
+        self.variant = variant
+        self.encoder = BiGRU(num_features, hidden_size, rng)
+        state_size = 2 * hidden_size
+        if variant == "location":
+            self.attention = LocationAttention(state_size, rng)
+        elif variant == "general":
+            self.attention = GeneralAttention(state_size, rng)
+        else:
+            self.attention = AdditiveAttention(state_size, attention_size, rng)
+        self.fuse = Dense(2 * state_size, state_size, rng, activation="tanh")
+        self.weight = Parameter(nn.init.glorot_uniform((state_size, 1), rng))
+        self.bias = Parameter(np.zeros(1))
+
+    def forward_batch(self, batch):
+        logits, _ = self.forward(nn.Tensor(batch.values))
+        return logits
+
+    def forward(self, values, return_attention=False):
+        """Return logits and (optionally) the per-step attention weights."""
+        states = self.encoder(values)                    # (B, T, 2H)
+        last = states[:, -1, :]
+        earlier = states[:, :-1, :]
+        if self.variant == "location":
+            scores = self.attention(earlier)
+        else:
+            scores = self.attention(last, earlier)
+        weights = ops.softmax(scores, axis=1)            # (B, T-1, 1)
+        context = ops.sum(weights * earlier, axis=1)
+        fused = self.fuse(ops.concat([context, last], axis=-1))
+        logits = (ops.matmul(fused, self.weight) + self.bias).reshape(-1)
+        if return_attention:
+            return logits, weights.reshape(weights.shape[0], weights.shape[1])
+        return logits, None

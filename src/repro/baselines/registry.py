@@ -1,0 +1,66 @@
+"""Model registry: build any evaluated model by its paper name.
+
+Covers the 12 baselines of Figure 6 / Table III plus ELDA-Net and its
+ablation variants, so experiment runners can be driven by name lists.
+"""
+
+from __future__ import annotations
+
+from ..core.elda_net import VARIANT_NAMES, build_variant
+from .concare import ConCare
+from .dipole import Dipole
+from .gru import GRUClassifier
+from .grud import GRUD
+from .pooled import AttentionalFM, FactorizationMachine, LogisticRegression
+from .retain import RETAIN
+from .sand import SAnD
+from .stagenet import StageNet
+
+__all__ = ["BASELINE_NAMES", "ALL_MODEL_NAMES", "build_model"]
+
+#: The baselines of Figure 6, in the paper's presentation order.
+BASELINE_NAMES = (
+    "LR", "FM", "AFM", "SAnD", "GRU", "RETAIN",
+    "Dipole_l", "Dipole_g", "Dipole_c", "StageNet", "GRU-D", "ConCare",
+)
+
+ALL_MODEL_NAMES = BASELINE_NAMES + VARIANT_NAMES
+
+_BUILDERS = {
+    "lr": lambda c, rng, kw: LogisticRegression(c, rng, **kw),
+    "fm": lambda c, rng, kw: FactorizationMachine(c, rng, **kw),
+    "afm": lambda c, rng, kw: AttentionalFM(c, rng, **kw),
+    "sand": lambda c, rng, kw: SAnD(c, rng, **kw),
+    "gru": lambda c, rng, kw: GRUClassifier(c, rng, **kw),
+    "retain": lambda c, rng, kw: RETAIN(c, rng, **kw),
+    "dipole_l": lambda c, rng, kw: Dipole(c, rng, variant="location", **kw),
+    "dipole_g": lambda c, rng, kw: Dipole(c, rng, variant="general", **kw),
+    "dipole_c": lambda c, rng, kw: Dipole(c, rng, variant="concat", **kw),
+    "stagenet": lambda c, rng, kw: StageNet(c, rng, **kw),
+    "gru-d": lambda c, rng, kw: GRUD(c, rng, **kw),
+    "grud": lambda c, rng, kw: GRUD(c, rng, **kw),
+    "concare": lambda c, rng, kw: ConCare(c, rng, **kw),
+}
+
+
+def build_model(name, num_features, rng, **kwargs):
+    """Instantiate a model by paper name (baseline or ELDA-Net variant).
+
+    Parameters
+    ----------
+    name:
+        One of :data:`ALL_MODEL_NAMES` (case-insensitive).
+    num_features:
+        Number of medical features ``|C|``.
+    rng:
+        ``numpy.random.Generator`` for weight initialization.
+    kwargs:
+        Forwarded to the model constructor (hyperparameter overrides).
+    """
+    key = name.strip().lower()
+    if key in _BUILDERS:
+        return _BUILDERS[key](num_features, rng, kwargs)
+    if key.startswith("elda"):
+        return build_variant(name, num_features, rng, **kwargs)
+    raise ValueError(f"unknown model {name!r}; known models: "
+                     f"{', '.join(ALL_MODEL_NAMES)}")

@@ -1,0 +1,55 @@
+"""RETAIN baseline (Choi et al., NeurIPS 2016).
+
+An interpretable two-level attention model: visits are embedded, two GRUs
+run over the *reversed* sequence to produce (i) scalar visit-level
+attention α_t and (ii) vector variable-level gates β_t; the context is the
+doubly weighted sum of visit embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import ops
+from ..nn.layers import GRU, Dense
+from ..nn.module import Module, Parameter
+
+__all__ = ["RETAIN"]
+
+
+class RETAIN(Module):
+    """Reverse-time attention model.
+
+    Sizes default to land near the ~13k parameters the paper's Table III
+    reports for RETAIN.
+    """
+
+    def __init__(self, num_features, rng, embedding_size=32, alpha_hidden=24,
+                 beta_hidden=24):
+        super().__init__()
+        self.embed = Dense(num_features, embedding_size, rng, use_bias=False)
+        self.alpha_gru = GRU(embedding_size, alpha_hidden, rng)
+        self.beta_gru = GRU(embedding_size, beta_hidden, rng)
+        self.alpha_score = Dense(alpha_hidden, 1, rng)
+        self.beta_gate = Dense(beta_hidden, embedding_size, rng)
+        self.weight = Parameter(nn.init.glorot_uniform((embedding_size, 1), rng))
+        self.bias = Parameter(np.zeros(1))
+
+    def forward_batch(self, batch):
+        probs, _ = self.forward(nn.Tensor(batch.values))
+        return probs
+
+    def forward(self, values, return_attention=False):
+        """Return logits and (optionally) the visit-level attention α."""
+        visits = self.embed(values)                      # (B, T, m)
+        reversed_visits = visits[:, ::-1, :]
+        alpha_states = self.alpha_gru(reversed_visits)[:, ::-1, :]
+        beta_states = self.beta_gru(reversed_visits)[:, ::-1, :]
+        alpha = ops.softmax(self.alpha_score(alpha_states), axis=1)  # (B,T,1)
+        beta = ops.tanh(self.beta_gate(beta_states))                 # (B,T,m)
+        context = ops.sum(alpha * beta * visits, axis=1)             # (B,m)
+        logits = (ops.matmul(context, self.weight) + self.bias).reshape(-1)
+        if return_attention:
+            return logits, alpha.reshape(alpha.shape[0], alpha.shape[1])
+        return logits, None

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``stats``
+    Print Table-I-style statistics for a cohort.
+``train``
+    Train a model on a cohort/task, print test metrics, optionally save
+    the weights.
+``compare``
+    Train several models on one (cohort, task) cell and print the
+    Figure-6-style metrics table.
+``interpret``
+    Train ELDA-Net and print Patient A's feature-level attention grid at
+    a chosen hour (the Figure 9 analysis).
+
+Every command accepts ``--scale {small,medium,paper}``; the default
+follows the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    """Construct the argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ELDA reproduction command-line interface")
+    parser.add_argument("--scale", choices=("small", "medium", "paper"),
+                        default=None, help="protocol scale (default: "
+                        "REPRO_SCALE env var, then 'small')")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="print dataset statistics")
+    stats.add_argument("--cohort", default="physionet2012",
+                       choices=("physionet2012", "mimic3"))
+
+    train = commands.add_parser("train", help="train one model")
+    train.add_argument("--model", default="ELDA-Net")
+    train.add_argument("--cohort", default="physionet2012",
+                       choices=("physionet2012", "mimic3"))
+    train.add_argument("--task", default="mortality",
+                       choices=("mortality", "los"))
+    train.add_argument("--epochs", type=int, default=None,
+                       help="override the scale preset's epoch budget")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save", default=None, metavar="PATH",
+                       help="save trained weights to an .npz file")
+
+    compare = commands.add_parser("compare", help="compare several models")
+    compare.add_argument("--models", nargs="+",
+                         default=["LR", "GRU", "Dipole_l", "ELDA-Net"])
+    compare.add_argument("--cohort", default="physionet2012",
+                         choices=("physionet2012", "mimic3"))
+    compare.add_argument("--task", default="mortality",
+                         choices=("mortality", "los"))
+
+    interpret = commands.add_parser(
+        "interpret", help="print Patient A's attention grid")
+    interpret.add_argument("--hour", type=int, default=13)
+    interpret.add_argument("--epochs", type=int, default=None)
+
+    return parser
+
+
+def _config(args):
+    from .experiments import default_config
+    config = default_config(args.scale)
+    if getattr(args, "epochs", None):
+        config.max_epochs = args.epochs
+    return config
+
+
+def _cmd_stats(args, out):
+    from .data import load_cohort
+    splits = load_cohort(args.cohort, scale=args.scale)
+    for split_name, dataset in (("train", splits.train),
+                                ("validation", splits.validation),
+                                ("test", splits.test)):
+        out.write(f"[{args.cohort} / {split_name}]\n")
+        for key, value in dataset.statistics().items():
+            formatted = f"{value:.4f}" if isinstance(value, float) else value
+            out.write(f"  {key:<28} {formatted}\n")
+    return 0
+
+
+def _cmd_train(args, out):
+    from .baselines import build_model
+    from .data import NUM_FEATURES, load_cohort
+    from .nn.serialization import save_weights
+    from .train import Trainer
+
+    config = _config(args)
+    splits = load_cohort(args.cohort, scale=args.scale,
+                         fractions=config.fractions)
+    model = build_model(args.model, NUM_FEATURES,
+                        np.random.default_rng(args.seed))
+    trainer = Trainer(model, args.task, **config.trainer_kwargs(args.seed))
+    history = trainer.fit(splits.train, splits.validation)
+    metrics = trainer.evaluate(splits.test)
+    out.write(f"{args.model} on {args.cohort}/{args.task}: "
+              f"{history.num_epochs} epochs "
+              f"(best {history.best_epoch})\n")
+    out.write(f"  params  : {model.num_parameters()}\n")
+    out.write(f"  BCE     : {metrics['bce']:.4f}\n")
+    out.write(f"  AUC-ROC : {metrics['auc_roc']:.4f}\n")
+    out.write(f"  AUC-PR  : {metrics['auc_pr']:.4f}\n")
+    if args.save:
+        save_weights(model, args.save)
+        out.write(f"  weights saved to {args.save}\n")
+    return 0
+
+
+def _cmd_compare(args, out):
+    from .experiments import format_metric, render_table, run_grid
+    config = _config(args)
+    results = run_grid(tuple(args.models), args.cohort, args.task, config)
+    rows = [[name, str(m["params"]), format_metric(m["bce"]),
+             format_metric(m["auc_roc"]), format_metric(m["auc_pr"])]
+            for name, m in results.items()]
+    out.write(render_table(
+        ["model", "params", "BCE", "AUC-ROC", "AUC-PR"], rows,
+        title=f"{args.cohort} / {args.task}") + "\n")
+    return 0
+
+
+def _cmd_interpret(args, out):
+    from .experiments import (ESSENTIAL_FEATURES, patient_a_processed,
+                              trained_model)
+    from .core.interpret import feature_attention_at
+
+    config = _config(args)
+    model, splits, metrics = trained_model("ELDA-Net", "physionet2012",
+                                           "mortality", config, seed=0)
+    values, ever_observed, _ = patient_a_processed(splits.standardizer)
+    grid, names = feature_attention_at(model, values, ever_observed,
+                                       args.hour,
+                                       features=ESSENTIAL_FEATURES)
+    out.write(f"Patient A feature-level attention at hour {args.hour} "
+              f"(model AUC-ROC {metrics['auc_roc']:.3f}):\n")
+    width = max(len(n) for n in names)
+    out.write(" " * (width + 2)
+              + "  ".join(f"{n:>7}" for n in names) + "\n")
+    for i, name in enumerate(names):
+        row = "  ".join(f"{grid[i, j] * 100:6.1f}%"
+                        for j in range(len(names)))
+        out.write(f"{name:<{width}}  {row}\n")
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "train": _cmd_train,
+    "compare": _cmd_compare,
+    "interpret": _cmd_interpret,
+}
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

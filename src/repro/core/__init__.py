@@ -1,0 +1,20 @@
+"""ELDA core: the paper's model, framework, and interpretability tools."""
+
+from .elda_net import ELDANet, VARIANT_NAMES, build_variant
+from .embedding import BiDirectionalEmbedding, FMEmbedding, build_embedding
+from .feature_interaction import FeatureInteractionModule
+from .framework import ELDA, RiskAlert
+from .interpret import (AttentionExtract, cohort_time_attention,
+                        extract_attention, feature_attention_at,
+                        interaction_trace, modify_feature_to_normal)
+from .prediction import PredictionModule
+from .time_interaction import TimeInteractionModule
+
+__all__ = [
+    "ELDANet", "VARIANT_NAMES", "build_variant",
+    "BiDirectionalEmbedding", "FMEmbedding", "build_embedding",
+    "FeatureInteractionModule", "TimeInteractionModule", "PredictionModule",
+    "ELDA", "RiskAlert",
+    "AttentionExtract", "extract_attention", "cohort_time_attention",
+    "feature_attention_at", "interaction_trace", "modify_feature_to_normal",
+]

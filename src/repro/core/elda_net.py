@@ -1,0 +1,201 @@
+"""ELDA-Net: the end-to-end model and its ablation variants.
+
+The full model chains the four modules of Section IV-B:
+
+    Bi-directional Embedding -> Feature-level Interaction Learning
+        -> Time-level Interaction Learning -> Prediction
+
+The ablation variants of Section V-C are expressed through the
+constructor:
+
+==================  =============================  =========================
+Paper name          ``embedding``                  modules kept
+==================  =============================  =========================
+ELDA-Net            ``"bi"``                       feature + time
+ELDA-Net-T          (embedding unused)             time only (raw values in)
+ELDA-Net-F_bi       ``"bi"``                       feature only
+ELDA-Net-F_bi*      ``"bi*"``                      feature only
+ELDA-Net-F_fm       ``"fm"``                       feature only
+ELDA-Net-F_fm*      ``"fm*"``                      feature only
+==================  =============================  =========================
+
+Use :func:`build_variant` to construct any of them by paper name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.layers import GRU
+from ..nn.module import Module
+from .embedding import build_embedding
+from .feature_interaction import FeatureInteractionModule
+from .prediction import PredictionModule
+from .time_interaction import TimeInteractionModule
+
+__all__ = ["ELDANet", "build_variant", "VARIANT_NAMES"]
+
+VARIANT_NAMES = ("ELDA-Net", "ELDA-Net-T", "ELDA-Net-Fbi", "ELDA-Net-Fbi*",
+                 "ELDA-Net-Ffm", "ELDA-Net-Ffm*")
+
+
+class ELDANet(Module):
+    """The ELDA-Net model (paper Section IV).
+
+    Parameters
+    ----------
+    num_features:
+        Number of medical features ``|C|`` (37 in the paper's setting).
+    embedding_size:
+        Embedding dimension ``e`` (paper: 24).
+    hidden_size:
+        GRU hidden size ``l`` (paper: 64).
+    compression:
+        Compression factor ``d`` (paper: 4).
+    rng:
+        ``numpy.random.Generator`` for weight initialization.
+    embedding:
+        One of ``"bi"``, ``"bi*"``, ``"fm"``, ``"fm*"``.
+    lower, upper:
+        Bounds ``(a, b)`` of the bi-directional embedding (paper: -3, 3).
+    use_feature_module:
+        Keep the Feature-level Interaction Learning Module.
+    use_time_module:
+        Keep the Time-level Interaction Learning Module; when dropped, the
+        prediction head consumes the GRU's last hidden state only.
+    feature_attention:
+        When False, feature interactions are pooled uniformly instead of
+        with the learned attention (ablation of Eqs. 4-5).
+    num_classes:
+        1 for the paper's binary tasks; > 1 switches the Prediction
+        Module to a softmax head (e.g. archetype phenotyping).
+    """
+
+    def __init__(self, num_features, rng, embedding_size=24, hidden_size=64,
+                 compression=4, embedding="bi", lower=-3.0, upper=3.0,
+                 use_feature_module=True, use_time_module=True,
+                 feature_attention=True, num_classes=1):
+        super().__init__()
+        self.num_features = num_features
+        self.use_feature_module = use_feature_module
+        self.use_time_module = use_time_module
+
+        if use_feature_module:
+            self.embedding = build_embedding(embedding, num_features,
+                                             embedding_size, rng,
+                                             lower=lower, upper=upper)
+            self.feature_module = FeatureInteractionModule(
+                num_features, embedding_size, compression, rng,
+                use_attention=feature_attention)
+            sequence_size = num_features * compression
+        else:
+            sequence_size = num_features
+
+        if use_time_module:
+            self.time_module = TimeInteractionModule(sequence_size,
+                                                     hidden_size, rng)
+            representation_size = 2 * hidden_size
+        else:
+            self.encoder = GRU(sequence_size, hidden_size, rng,
+                               return_sequences=False)
+            representation_size = hidden_size
+
+        self.prediction = PredictionModule(representation_size, rng,
+                                           num_classes=num_classes)
+
+    # ------------------------------------------------------------------
+    def forward(self, values, ever_observed=None, return_attention=False):
+        """Predict outcome probabilities for a batch of admissions.
+
+        Parameters
+        ----------
+        values:
+            Array or Tensor (batch, time, features): standardized, imputed.
+        ever_observed:
+            Boolean (batch, features); False marks never-observed features
+            (routed to the missing-value embedding).
+        return_attention:
+            Also return a dict with ``"feature"`` (B, T, C, C) and
+            ``"time"`` (B, T-1) attention weights where applicable.
+
+        Returns
+        -------
+        Tensor (batch,) of probabilities, and optionally the attention dict.
+        """
+        values = nn.as_tensor(values)
+        attention = {}
+
+        if self.use_feature_module:
+            embedded = self.embedding(values, ever_observed=ever_observed)
+            if return_attention:
+                sequence, alpha = self.feature_module(embedded,
+                                                      return_attention=True)
+                attention["feature"] = alpha
+            else:
+                sequence = self.feature_module(embedded)
+        else:
+            sequence = values
+
+        if self.use_time_module:
+            if return_attention:
+                representation, beta = self.time_module(sequence,
+                                                        return_attention=True)
+                attention["time"] = beta
+            else:
+                representation = self.time_module(sequence)
+        else:
+            representation = self.encoder(sequence)
+
+        probabilities = self.prediction(representation)
+        if return_attention:
+            return probabilities, attention
+        return probabilities
+
+    def logits(self, values, ever_observed=None):
+        """Raw output logits (used by the numerically stable loss)."""
+        values = nn.as_tensor(values)
+        if self.use_feature_module:
+            embedded = self.embedding(values, ever_observed=ever_observed)
+            sequence = self.feature_module(embedded)
+        else:
+            sequence = values
+        if self.use_time_module:
+            representation = self.time_module(sequence)
+        else:
+            representation = self.encoder(sequence)
+        return self.prediction.logits(representation)
+
+
+    def forward_batch(self, batch):
+        """Uniform trainer interface: logits from an :class:`EMRDataset` batch."""
+        return self.logits(batch.values, ever_observed=batch.ever_observed)
+
+
+def build_variant(name, num_features, rng, **overrides):
+    """Construct an ELDA-Net variant by its paper name.
+
+    Accepted names (case-insensitive, ``*`` suffix meaningful):
+    ``ELDA-Net``, ``ELDA-Net-T``, ``ELDA-Net-Fbi``, ``ELDA-Net-Fbi*``,
+    ``ELDA-Net-Ffm``, ``ELDA-Net-Ffm*``.
+    """
+    canonical = name.strip().lower().replace("_", "").replace(" ", "")
+    table = {
+        "elda-net": dict(embedding="bi", use_feature_module=True,
+                         use_time_module=True),
+        "elda-net-t": dict(use_feature_module=False, use_time_module=True),
+        "elda-net-fbi": dict(embedding="bi", use_feature_module=True,
+                             use_time_module=False),
+        "elda-net-fbi*": dict(embedding="bi*", use_feature_module=True,
+                              use_time_module=False),
+        "elda-net-ffm": dict(embedding="fm", use_feature_module=True,
+                             use_time_module=False),
+        "elda-net-ffm*": dict(embedding="fm*", use_feature_module=True,
+                              use_time_module=False),
+    }
+    if canonical not in table:
+        raise ValueError(f"unknown ELDA-Net variant {name!r}; "
+                         f"known: {', '.join(VARIANT_NAMES)}")
+    config = dict(table[canonical])
+    config.update(overrides)
+    return ELDANet(num_features, rng, **config)

@@ -1,0 +1,36 @@
+"""Synthetic EMR data substrate.
+
+Stands in for the paper's PhysioNet 2012 and MIMIC-III cohorts (which
+require credentialed access) with a generative ICU simulator whose labels
+depend on feature-level and time-level interaction patterns — see
+DESIGN.md for the substitution rationale.
+"""
+
+from .archetypes import ARCHETYPES, Archetype, archetype_by_name
+from .cohorts import (MIMIC_III, PHYSIONET2012, PROFILES, CohortProfile,
+                      load_cohort, scale_factor)
+from .dataset import (DatasetSplits, EMRDataset, build_dataset,
+                      iterate_batches, train_val_test_split)
+from .missingness import ObservationModel
+from .preprocess import (Standardizer, clean_values, impute,
+                         observation_deltas)
+from .serialization import load_dataset, save_dataset
+from .schema import (FEATURE_NAMES, FEATURES, NUM_FEATURES, NUM_TIME_STEPS,
+                     FeatureSpec, feature_index)
+from .synthetic import Admission, SyntheticEMRGenerator, make_patient_a
+from .trajectory import SeverityTrajectory, sample_trajectory
+
+__all__ = [
+    "FeatureSpec", "FEATURES", "FEATURE_NAMES", "NUM_FEATURES",
+    "NUM_TIME_STEPS", "feature_index",
+    "Archetype", "ARCHETYPES", "archetype_by_name",
+    "SeverityTrajectory", "sample_trajectory",
+    "ObservationModel",
+    "Admission", "SyntheticEMRGenerator", "make_patient_a",
+    "Standardizer", "clean_values", "impute", "observation_deltas",
+    "EMRDataset", "DatasetSplits", "build_dataset", "train_val_test_split",
+    "iterate_batches",
+    "CohortProfile", "PHYSIONET2012", "MIMIC_III", "PROFILES", "load_cohort",
+    "scale_factor",
+    "save_dataset", "load_dataset",
+]

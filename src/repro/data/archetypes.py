@@ -1,0 +1,224 @@
+"""Disease archetypes for the synthetic ICU simulator.
+
+An archetype is a clinically-motivated pattern of *joint* feature
+deviations.  This is the crucial ingredient for reproducing the ELDA
+evaluation: the paper's argument is that the same abnormal value of one
+feature (e.g. Glucose) means different things depending on which *other*
+features are abnormal with it (DM alone vs. DM+DKA vs. DM+DLA).  Labels in
+the simulator therefore depend on which archetype generated the admission,
+not on any single feature, so a model can only excel by learning
+feature-level interactions — exactly the capability ELDA claims.
+
+Deviations are expressed in units of each feature's healthy standard
+deviation (z-scores), and scale with the patient's latent severity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .schema import feature_index
+
+__all__ = ["Archetype", "ARCHETYPES", "archetype_by_name"]
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """A joint-deviation pattern with its clinical risk profile.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"dm_dla"``.
+    deviations:
+        Mapping ``feature name -> z-score shift at severity 1.0``.
+    base_mortality_logit:
+        Archetype-specific contribution to the mortality logit.
+    severity_mortality_gain:
+        Weight of the patient's peak severity in the mortality logit.
+    late_deterioration_prob:
+        Probability that this archetype produces an acute late-onset event
+        (deterioration in the second day), which creates the time-level
+        signal that the paper's Figure 8 visualizes.
+    base_los_logit, severity_los_gain:
+        Same structure for the LOS > 7 days label.
+    prevalence:
+        Relative sampling weight in the admission mix.
+    risk_pairs:
+        Pairwise interaction terms in the label logits: tuples
+        ``(feature_a, feature_b, weight)`` contributing
+        ``weight * mean_t(z_a(t) * z_b(t))`` to the risk.  This is the
+        generative counterpart of the paper's thesis — *joint* abnormal
+        patterns (e.g. Glucose x Lactate in DLA) carry risk beyond what
+        the individual values explain — and is what gives explicit
+        interaction learners their edge on this data.
+    """
+
+    name: str
+    deviations: dict = field(default_factory=dict)
+    base_mortality_logit: float = -3.0
+    severity_mortality_gain: float = 2.0
+    late_deterioration_prob: float = 0.25
+    base_los_logit: float = -0.5
+    severity_los_gain: float = 1.5
+    prevalence: float = 1.0
+    risk_pairs: tuple = ()
+
+    def deviation_vector(self, num_features):
+        """Return the z-shift per feature as a dense vector."""
+        import numpy as np
+        vec = np.zeros(num_features)
+        for name, shift in self.deviations.items():
+            vec[feature_index(name)] = shift
+        return vec
+
+
+#: The archetype library.  The three DM variants follow Section I of the
+#: paper verbatim; the others round out a plausible ICU case mix so that
+#: the label is genuinely multi-pattern.
+ARCHETYPES = (
+    Archetype(
+        name="stable",
+        deviations={},
+        base_mortality_logit=-4.6,
+        severity_mortality_gain=1.0,
+        late_deterioration_prob=0.03,
+        base_los_logit=-1.2,
+        severity_los_gain=1.0,
+        prevalence=3.0,
+    ),
+    # DM only: isolated hyperglycemia, comparatively benign.
+    Archetype(
+        name="dm_only",
+        deviations={"Glucose": 3.0},
+        base_mortality_logit=-3.8,
+        severity_mortality_gain=1.2,
+        late_deterioration_prob=0.08,
+        base_los_logit=-0.6,
+        severity_los_gain=1.2,
+        prevalence=1.5,
+    ),
+    # DM + diabetic ketoacidosis: high glucose, low pH, low HCO3, Kussmaul
+    # breathing (high RespRate), dehydration (high BUN).
+    Archetype(
+        name="dm_dka",
+        deviations={"Glucose": 3.5, "pH": -2.5, "HCO3": -2.5,
+                    "RespRate": 2.0, "BUN": 1.5, "K": 1.0},
+        risk_pairs=(("Glucose", "pH", -0.30), ("Glucose", "HCO3", -0.20)),
+        base_mortality_logit=-2.2,
+        severity_mortality_gain=2.2,
+        late_deterioration_prob=0.30,
+        base_los_logit=0.2,
+        severity_los_gain=1.6,
+        prevalence=1.0,
+    ),
+    # DM + diabetic lactic acidosis: high glucose, high lactate, low pH,
+    # low HCO3, low Temp, low MAP, compensatory high HR/FiO2 — this is
+    # "Patient A" from the paper's interpretability study.
+    Archetype(
+        name="dm_dla",
+        deviations={"Glucose": 3.5, "Lactate": 3.0, "pH": -2.5,
+                    "HCO3": -2.0, "Temp": -1.5, "MAP": -2.0,
+                    "HR": 1.8, "FiO2": 1.5},
+        risk_pairs=(("Glucose", "Lactate", 0.30), ("Lactate", "pH", -0.25)),
+        base_mortality_logit=-1.8,
+        severity_mortality_gain=2.5,
+        late_deterioration_prob=0.35,
+        base_los_logit=0.4,
+        severity_los_gain=1.7,
+        prevalence=1.0,
+    ),
+    # Septic shock: high lactate WITHOUT hyperglycemia; fever, tachycardia,
+    # hypotension, high WBC.  Deliberately overlaps with dm_dla on lactate
+    # so that lactate alone is not a sufficient statistic.
+    Archetype(
+        name="sepsis",
+        deviations={"Lactate": 2.5, "Temp": 2.0, "HR": 2.2, "MAP": -2.2,
+                    "WBC": 2.5, "RespRate": 1.8, "SysABP": -1.8,
+                    "Urine": -1.5},
+        risk_pairs=(("Lactate", "MAP", -0.30), ("Temp", "WBC", 0.20)),
+        base_mortality_logit=-1.6,
+        severity_mortality_gain=2.6,
+        late_deterioration_prob=0.40,
+        base_los_logit=0.5,
+        severity_los_gain=1.8,
+        prevalence=1.2,
+    ),
+    # Acute kidney injury: creatinine/BUN/K up, urine down, mild acidosis.
+    Archetype(
+        name="aki",
+        deviations={"Creatinine": 3.0, "BUN": 2.5, "K": 1.8, "Urine": -2.2,
+                    "HCO3": -1.0, "pH": -0.8},
+        risk_pairs=(("Creatinine", "K", 0.30), ("Creatinine", "Urine", -0.20)),
+        base_mortality_logit=-2.6,
+        severity_mortality_gain=1.9,
+        late_deterioration_prob=0.22,
+        base_los_logit=0.3,
+        severity_los_gain=1.6,
+        prevalence=1.0,
+    ),
+    # Cardiogenic event: troponins up, blood pressures down, HR unstable.
+    Archetype(
+        name="cardiac",
+        deviations={"TroponinI": 3.5, "TroponinT": 3.5, "SysABP": -1.8,
+                    "MAP": -1.5, "HR": 1.5, "PaO2": -1.2, "SaO2": -1.0},
+        risk_pairs=(("TroponinI", "MAP", -0.30), ("TroponinT", "HR", 0.20)),
+        base_mortality_logit=-2.0,
+        severity_mortality_gain=2.3,
+        late_deterioration_prob=0.33,
+        base_los_logit=0.2,
+        severity_los_gain=1.5,
+        prevalence=1.0,
+    ),
+    # Respiratory failure: low PaO2/SaO2, high PaCO2/FiO2, ventilation.
+    Archetype(
+        name="respiratory",
+        deviations={"PaO2": -2.5, "SaO2": -2.5, "PaCO2": 2.0, "FiO2": 2.5,
+                    "RespRate": 2.2, "MechVent": 3.0, "pH": -0.8},
+        risk_pairs=(("FiO2", "SaO2", -0.30), ("PaCO2", "pH", -0.20)),
+        base_mortality_logit=-2.1,
+        severity_mortality_gain=2.2,
+        late_deterioration_prob=0.30,
+        base_los_logit=0.4,
+        severity_los_gain=1.7,
+        prevalence=1.0,
+    ),
+    # Hepatic failure: liver enzymes and bilirubin up, albumin and
+    # platelets down.
+    Archetype(
+        name="hepatic",
+        deviations={"ALT": 3.0, "AST": 3.0, "Bilirubin": 2.8, "ALP": 2.0,
+                    "Albumin": -2.0, "Platelets": -1.5},
+        risk_pairs=(("Bilirubin", "Albumin", -0.25), ("ALT", "AST", 0.20)),
+        base_mortality_logit=-2.4,
+        severity_mortality_gain=2.0,
+        late_deterioration_prob=0.25,
+        base_los_logit=0.35,
+        severity_los_gain=1.6,
+        prevalence=0.8,
+    ),
+    # Hemorrhage/anemia: HCT and platelets down, HR up, pressures down.
+    Archetype(
+        name="hemorrhage",
+        deviations={"HCT": -2.5, "Platelets": -2.0, "HR": 2.0,
+                    "SysABP": -2.0, "DiasABP": -1.8, "MAP": -1.8},
+        risk_pairs=(("HCT", "HR", -0.25), ("HCT", "MAP", 0.20)),
+        base_mortality_logit=-2.3,
+        severity_mortality_gain=2.1,
+        late_deterioration_prob=0.28,
+        base_los_logit=0.25,
+        severity_los_gain=1.5,
+        prevalence=0.8,
+    ),
+)
+
+_BY_NAME = {a.name: a for a in ARCHETYPES}
+
+
+def archetype_by_name(name):
+    """Look up an archetype by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown archetype {name!r}; known: "
+                       f"{', '.join(_BY_NAME)}") from None

@@ -1,0 +1,190 @@
+"""Dataset containers, splits, and batch iteration.
+
+An :class:`EMRDataset` bundles everything the models consume:
+
+* ``values`` — standardized, imputed feature values (N, T, C);
+* ``mask`` — observation mask (N, T, C), True where measured;
+* ``ever_observed`` — per-admission, per-feature flag (N, C): False means
+  the feature was never measured during the stay (missingness type 3,
+  routed to ELDA's ``V^m`` embedding);
+* ``deltas`` — time since last observation (GRU-D input);
+* labels for both tasks (``mortality``, ``long_stay``).
+
+:func:`build_dataset` runs the full pipeline from raw admissions, and
+:func:`train_val_test_split` reproduces the paper's 80/10/10 protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .preprocess import Standardizer, clean_values, impute, observation_deltas
+from .schema import FEATURE_NAMES
+
+__all__ = ["EMRDataset", "DatasetSplits", "build_dataset",
+           "train_val_test_split", "iterate_batches"]
+
+
+@dataclass
+class EMRDataset:
+    """Model-ready EMR data for a set of admissions."""
+
+    values: np.ndarray
+    mask: np.ndarray
+    ever_observed: np.ndarray
+    deltas: np.ndarray
+    mortality: np.ndarray
+    long_stay: np.ndarray
+    archetypes: list = field(default_factory=list)
+    onset_hours: list = field(default_factory=list)
+    feature_names: tuple = FEATURE_NAMES
+
+    def __len__(self):
+        return self.values.shape[0]
+
+    @property
+    def num_time_steps(self):
+        return self.values.shape[1]
+
+    @property
+    def num_features(self):
+        return self.values.shape[2]
+
+    def labels(self, task):
+        """Return the label vector for a task.
+
+        ``"mortality"`` and ``"los"`` are the paper's binary tasks;
+        ``"phenotype"`` returns integer archetype indices (simulation
+        ground truth) for the multi-class extension.
+        """
+        if task == "mortality":
+            return self.mortality
+        if task == "los":
+            return self.long_stay
+        if task == "phenotype":
+            if not self.archetypes:
+                raise ValueError("dataset carries no archetype annotations")
+            from .archetypes import ARCHETYPES
+            index = {a.name: i for i, a in enumerate(ARCHETYPES)}
+            return np.array([index[name] for name in self.archetypes])
+        raise ValueError(f"unknown task {task!r}; "
+                         "use 'mortality', 'los', or 'phenotype'")
+
+    def subset(self, indices):
+        """Return a new dataset restricted to the given row indices."""
+        indices = np.asarray(indices)
+        return EMRDataset(
+            values=self.values[indices],
+            mask=self.mask[indices],
+            ever_observed=self.ever_observed[indices],
+            deltas=self.deltas[indices],
+            mortality=self.mortality[indices],
+            long_stay=self.long_stay[indices],
+            archetypes=[self.archetypes[i] for i in indices]
+            if self.archetypes else [],
+            onset_hours=[self.onset_hours[i] for i in indices]
+            if self.onset_hours else [],
+            feature_names=self.feature_names,
+        )
+
+    def statistics(self):
+        """Summary statistics in the shape of the paper's Table I."""
+        survivors = int((self.mortality == 0).sum())
+        non_survivors = int((self.mortality == 1).sum())
+        short = int((self.long_stay == 0).sum())
+        long = int((self.long_stay == 1).sum())
+        records = float(self.mask.sum(axis=(1, 2)).mean())
+        missing_rate = 1.0 - self.mask.mean()
+        return {
+            "admissions": len(self),
+            "survivor": survivors,
+            "non_survivor": non_survivors,
+            "los_le_7": short,
+            "los_gt_7": long,
+            "avg_records_per_patient": records,
+            "num_features": self.num_features,
+            "missing_rate": float(missing_rate),
+        }
+
+
+@dataclass
+class DatasetSplits:
+    """Train/validation/test triple sharing one fitted standardizer."""
+
+    train: EMRDataset
+    validation: EMRDataset
+    test: EMRDataset
+    standardizer: Standardizer
+
+
+def build_dataset(admissions, standardizer=None):
+    """Assemble an :class:`EMRDataset` from raw :class:`Admission` objects.
+
+    Parameters
+    ----------
+    admissions:
+        Sequence of :class:`repro.data.synthetic.Admission`.
+    standardizer:
+        A fitted :class:`Standardizer` to reuse (for val/test splits).
+        When ``None``, a new one is fit on these admissions.
+    """
+    raw = np.stack([adm.values for adm in admissions])
+    raw = clean_values(raw)
+    mask = ~np.isnan(raw)
+
+    if standardizer is None:
+        standardizer = Standardizer().fit(raw)
+    standardized = standardizer.transform(raw)
+    values = impute(standardized, mask)
+    deltas = observation_deltas(mask)
+    return EMRDataset(
+        values=values,
+        mask=mask,
+        ever_observed=mask.any(axis=1),
+        deltas=deltas,
+        mortality=np.array([adm.mortality for adm in admissions]),
+        long_stay=np.array([adm.long_stay for adm in admissions]),
+        archetypes=[adm.archetype for adm in admissions],
+        onset_hours=[adm.onset_hour for adm in admissions],
+    ), standardizer
+
+
+def train_val_test_split(admissions, rng, fractions=(0.8, 0.1, 0.1)):
+    """Shuffle admissions and build the paper's 80/10/10 splits.
+
+    The standardizer is fit on the training split only and reused for
+    validation and test — no statistics leak across splits.
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("split fractions must sum to 1")
+    order = rng.permutation(len(admissions))
+    n_train = int(round(fractions[0] * len(admissions)))
+    n_val = int(round(fractions[1] * len(admissions)))
+    groups = (order[:n_train], order[n_train:n_train + n_val],
+              order[n_train + n_val:])
+    train_adms = [admissions[i] for i in groups[0]]
+    val_adms = [admissions[i] for i in groups[1]]
+    test_adms = [admissions[i] for i in groups[2]]
+
+    train, standardizer = build_dataset(train_adms)
+    validation, _ = build_dataset(val_adms, standardizer=standardizer)
+    test, _ = build_dataset(test_adms, standardizer=standardizer)
+    return DatasetSplits(train=train, validation=validation, test=test,
+                         standardizer=standardizer)
+
+
+def iterate_batches(dataset, task, batch_size, rng=None):
+    """Yield ``(batch_dataset, labels)`` minibatches.
+
+    Shuffles when an ``rng`` is given (training); otherwise iterates in
+    order (evaluation).
+    """
+    indices = np.arange(len(dataset))
+    if rng is not None:
+        rng.shuffle(indices)
+    labels = dataset.labels(task)
+    for start in range(0, len(indices), batch_size):
+        batch_idx = indices[start:start + batch_size]
+        yield dataset.subset(batch_idx), labels[batch_idx]

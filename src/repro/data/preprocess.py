@@ -1,0 +1,136 @@
+"""Preprocessing: cleaning, standardization, and imputation.
+
+Follows the paper's Section V-A pipeline:
+
+* noisy values outside each feature's physical range (e.g. negative lab
+  values) are removed, i.e. turned into missing entries;
+* a mean–std standardization is fit on the training split and applied
+  everywhere;
+* missing values are imputed with the global (training) mean before the
+  first observation of a feature and with the last observation afterwards
+  (LOCF), matching the paper's treatment of the first two missingness
+  types.  Cells belonging to never-observed features keep a mask of 0 so
+  ELDA-Net can route them to its dedicated missing-value embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import FEATURES
+
+__all__ = ["clean_values", "Standardizer", "impute", "observation_deltas"]
+
+
+def clean_values(values):
+    """Null out physically impossible entries (recording errors).
+
+    Parameters
+    ----------
+    values:
+        Array (..., C) of raw feature values with NaN for missing.
+
+    Returns
+    -------
+    A copy with out-of-range entries replaced by NaN.
+    """
+    lows = np.array([spec.low for spec in FEATURES])
+    highs = np.array([spec.high for spec in FEATURES])
+    cleaned = values.copy()
+    with np.errstate(invalid="ignore"):
+        bad = (cleaned < lows) | (cleaned > highs)
+    cleaned[bad] = np.nan
+    return cleaned
+
+
+class Standardizer:
+    """Mean–std standardization fit on observed entries of the train split."""
+
+    def __init__(self):
+        self.mean = None
+        self.std = None
+
+    def fit(self, values):
+        """Fit on an (N, T, C) array with NaN for missing entries."""
+        import warnings
+
+        flat = values.reshape(-1, values.shape[-1])
+        with warnings.catch_warnings():
+            # All-NaN columns are expected (never-observed features) and
+            # handled by the schema fallback below.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            self.mean = np.nanmean(flat, axis=0)
+            self.std = np.nanstd(flat, axis=0)
+        # Guard constant features (e.g. a flag that never fires in a split).
+        self.std = np.where(self.std < 1e-8, 1.0, self.std)
+        # A feature never observed anywhere in the split would yield NaN
+        # statistics; fall back to the schema's healthy values.
+        schema_mean = np.array([spec.mean for spec in FEATURES])
+        schema_std = np.array([spec.std for spec in FEATURES])
+        self.mean = np.where(np.isnan(self.mean), schema_mean, self.mean)
+        self.std = np.where(np.isnan(self.std), schema_std, self.std)
+        return self
+
+    def transform(self, values):
+        """Standardize, preserving NaNs."""
+        self._check_fitted()
+        return (values - self.mean) / self.std
+
+    def inverse_transform(self, values):
+        """Map standardized values back to raw units."""
+        self._check_fitted()
+        return values * self.std + self.mean
+
+    def fit_transform(self, values):
+        return self.fit(values).transform(values)
+
+    def _check_fitted(self):
+        if self.mean is None:
+            raise RuntimeError("Standardizer used before fit()")
+
+
+def impute(values, mask):
+    """Fill missing entries: global mean before first observation, LOCF after.
+
+    Operates on *standardized* values, where the global mean is 0 — this is
+    the convention the paper's Bi-directional Embedding Module relies on
+    ("a standardized zero value always denotes close to normal").
+
+    Parameters
+    ----------
+    values:
+        Array (N, T, C) standardized, NaN for missing.
+    mask:
+        Boolean (N, T, C), True where observed.
+
+    Returns
+    -------
+    Array (N, T, C) with no NaNs.
+    """
+    n, steps, channels = values.shape
+    filled = np.where(mask, values, 0.0)
+    out = np.zeros_like(filled)
+    last = np.zeros((n, channels))
+    seen = np.zeros((n, channels), dtype=bool)
+    for t in range(steps):
+        observed = mask[:, t, :]
+        last = np.where(observed, filled[:, t, :], last)
+        seen |= observed
+        # Before first observation: global mean (0 after standardization).
+        out[:, t, :] = np.where(seen, last, 0.0)
+    return out
+
+
+def observation_deltas(mask):
+    """Hours since the previous observation of each feature (GRU-D input).
+
+    ``delta[n, t, c]`` is 0 at t=0, and otherwise ``t - t_last_observed``
+    where ``t_last_observed`` is the most recent step < t with an
+    observation (or 0 if none yet) — the standard GRU-D definition.
+    """
+    n, steps, channels = mask.shape
+    delta = np.zeros((n, steps, channels))
+    for t in range(1, steps):
+        delta[:, t, :] = np.where(mask[:, t - 1, :], 1.0,
+                                  delta[:, t - 1, :] + 1.0)
+    return delta

@@ -1,0 +1,116 @@
+"""Clinical feature schema for the synthetic EMR substrate.
+
+The ELDA paper evaluates on PhysioNet Challenge 2012 and a MIMIC-III cohort,
+both reduced to the same 37 common medical features observed over 48 hourly
+time steps.  Those datasets require credentialed access, so this module
+defines the 37-feature schema (names, units, healthy means/spreads, and
+plausible physical ranges used for cleaning) that the generative simulator
+in :mod:`repro.data.synthetic` populates.
+
+Healthy ranges are taken from standard reference intervals; they do not need
+to be exact for the reproduction — what matters is that each feature has a
+well-defined "normal" location/scale so that abnormality (deviation in a
+known direction) is meaningful, mirroring how clinicians read the real
+features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FeatureSpec", "FEATURES", "FEATURE_NAMES", "NUM_FEATURES",
+           "feature_index", "NUM_TIME_STEPS"]
+
+#: Hours of EMR data per admission, as in the paper (48 h after admission).
+NUM_TIME_STEPS = 48
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Description of one numerical medical feature.
+
+    Attributes
+    ----------
+    name:
+        Short identifier as used in PhysioNet 2012.
+    unit:
+        Measurement unit (documentation only).
+    mean:
+        Typical value for a stable patient.
+    std:
+        Typical within-population spread for stable patients.
+    low, high:
+        Physically plausible bounds; values outside are treated as recording
+        errors and removed by the cleaning stage (the paper removes e.g.
+        negative values).
+    kind:
+        ``"vital"`` (charted frequently), ``"lab"`` (sparse), or
+        ``"other"``.  Drives the missingness mechanism.
+    """
+
+    name: str
+    unit: str
+    mean: float
+    std: float
+    low: float
+    high: float
+    kind: str
+
+
+#: The 37 features used by the paper (PhysioNet 2012 set A descriptors).
+FEATURES = (
+    FeatureSpec("Albumin", "g/dL", 4.0, 0.5, 0.5, 7.0, "lab"),
+    FeatureSpec("ALP", "IU/L", 80.0, 30.0, 5.0, 2000.0, "lab"),
+    FeatureSpec("ALT", "IU/L", 30.0, 15.0, 1.0, 5000.0, "lab"),
+    FeatureSpec("AST", "IU/L", 30.0, 15.0, 1.0, 5000.0, "lab"),
+    FeatureSpec("Bilirubin", "mg/dL", 0.8, 0.4, 0.05, 50.0, "lab"),
+    FeatureSpec("BUN", "mg/dL", 15.0, 6.0, 1.0, 200.0, "lab"),
+    FeatureSpec("Cholesterol", "mg/dL", 180.0, 35.0, 40.0, 500.0, "lab"),
+    FeatureSpec("Creatinine", "mg/dL", 1.0, 0.3, 0.1, 25.0, "lab"),
+    FeatureSpec("DiasABP", "mmHg", 70.0, 10.0, 10.0, 200.0, "vital"),
+    FeatureSpec("FiO2", "fraction", 0.30, 0.08, 0.21, 1.0, "vital"),
+    FeatureSpec("GCS", "score", 14.0, 1.5, 3.0, 15.0, "vital"),
+    FeatureSpec("Glucose", "mg/dL", 110.0, 25.0, 10.0, 1200.0, "lab"),
+    FeatureSpec("HCO3", "mmol/L", 24.0, 3.0, 2.0, 55.0, "lab"),
+    FeatureSpec("HCT", "%", 38.0, 4.5, 10.0, 65.0, "lab"),
+    FeatureSpec("HR", "bpm", 80.0, 12.0, 10.0, 300.0, "vital"),
+    FeatureSpec("K", "mmol/L", 4.1, 0.4, 1.0, 10.0, "lab"),
+    FeatureSpec("Lactate", "mmol/L", 1.2, 0.5, 0.1, 30.0, "lab"),
+    FeatureSpec("Mg", "mmol/L", 0.85, 0.12, 0.2, 4.0, "lab"),
+    FeatureSpec("MAP", "mmHg", 85.0, 10.0, 20.0, 250.0, "vital"),
+    FeatureSpec("MechVent", "flag", 0.0, 0.2, 0.0, 1.0, "other"),
+    FeatureSpec("Na", "mmol/L", 140.0, 3.0, 100.0, 180.0, "lab"),
+    FeatureSpec("NIDiasABP", "mmHg", 70.0, 11.0, 10.0, 200.0, "vital"),
+    FeatureSpec("NIMAP", "mmHg", 85.0, 11.0, 20.0, 250.0, "vital"),
+    FeatureSpec("NISysABP", "mmHg", 120.0, 15.0, 30.0, 300.0, "vital"),
+    FeatureSpec("PaCO2", "mmHg", 40.0, 5.0, 10.0, 120.0, "lab"),
+    FeatureSpec("PaO2", "mmHg", 95.0, 15.0, 20.0, 600.0, "lab"),
+    FeatureSpec("pH", "pH", 7.40, 0.04, 6.5, 8.0, "lab"),
+    FeatureSpec("Platelets", "1000/uL", 250.0, 70.0, 5.0, 1500.0, "lab"),
+    FeatureSpec("RespRate", "bpm", 16.0, 3.0, 2.0, 80.0, "vital"),
+    FeatureSpec("SaO2", "%", 97.0, 1.5, 40.0, 100.0, "vital"),
+    FeatureSpec("SysABP", "mmHg", 120.0, 14.0, 30.0, 300.0, "vital"),
+    FeatureSpec("Temp", "degC", 37.0, 0.4, 30.0, 43.0, "vital"),
+    FeatureSpec("TroponinI", "ug/L", 0.02, 0.02, 0.0, 60.0, "lab"),
+    FeatureSpec("TroponinT", "ug/L", 0.01, 0.01, 0.0, 30.0, "lab"),
+    FeatureSpec("Urine", "mL/h", 80.0, 30.0, 0.0, 2000.0, "other"),
+    FeatureSpec("WBC", "1000/uL", 8.0, 2.5, 0.1, 200.0, "lab"),
+    FeatureSpec("Weight", "kg", 78.0, 16.0, 20.0, 300.0, "other"),
+)
+
+FEATURE_NAMES = tuple(spec.name for spec in FEATURES)
+NUM_FEATURES = len(FEATURES)
+
+_INDEX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+def feature_index(name):
+    """Return the column index of a feature by name.
+
+    Raises ``KeyError`` with the available names on a miss.
+    """
+    try:
+        return _INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown feature {name!r}; known features: "
+                       f"{', '.join(FEATURE_NAMES)}") from None

@@ -1,0 +1,50 @@
+"""Persist EMR datasets to disk as ``.npz`` archives.
+
+Sampling a paper-scale cohort takes minutes; saving the model-ready
+arrays lets experiment runs and notebooks reuse one materialized cohort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import EMRDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(dataset, path):
+    """Write an :class:`EMRDataset` to ``path`` (compressed npz)."""
+    onset = np.array([-1 if h is None else h for h in dataset.onset_hours],
+                     dtype=np.int64) if dataset.onset_hours else np.array([],
+                                                                          dtype=np.int64)
+    np.savez_compressed(
+        path,
+        values=dataset.values,
+        mask=dataset.mask,
+        ever_observed=dataset.ever_observed,
+        deltas=dataset.deltas,
+        mortality=dataset.mortality,
+        long_stay=dataset.long_stay,
+        archetypes=np.array(dataset.archetypes, dtype="U32"),
+        onset_hours=onset,
+        feature_names=np.array(dataset.feature_names, dtype="U32"),
+    )
+
+
+def load_dataset(path):
+    """Load an :class:`EMRDataset` saved by :func:`save_dataset`."""
+    with np.load(path) as archive:
+        onset_raw = archive["onset_hours"]
+        onset = [None if h < 0 else int(h) for h in onset_raw]
+        return EMRDataset(
+            values=archive["values"],
+            mask=archive["mask"],
+            ever_observed=archive["ever_observed"],
+            deltas=archive["deltas"],
+            mortality=archive["mortality"],
+            long_stay=archive["long_stay"],
+            archetypes=list(archive["archetypes"]),
+            onset_hours=onset,
+            feature_names=tuple(archive["feature_names"]),
+        )

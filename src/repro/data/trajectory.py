@@ -1,0 +1,144 @@
+"""Latent severity trajectories for simulated ICU admissions.
+
+Each admission carries a latent severity process ``s_t >= 0`` over the 48
+hourly steps.  The process captures the clinical narrative the paper's
+interpretability study relies on:
+
+* admissions start at an archetype-dependent severity and tend to improve
+  under treatment (downward drift);
+* a subset of admissions suffers an *acute late event* — a jump in severity
+  somewhere in the stay followed by upward drift.  These are the patients
+  whose "crucial time steps" ELDA's time-level attention should highlight
+  (Figure 8), and they dominate the non-survivor group;
+* mortality and LOS labels are computed from the trajectory with extra
+  weight on the late portion, making *when* deterioration happens
+  informative, not just how bad it gets.
+
+Feature values are later derived from severity via archetype deviation
+vectors plus the global illness loadings below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import NUM_FEATURES, feature_index
+
+__all__ = ["SeverityTrajectory", "sample_trajectory", "GLOBAL_LOADINGS",
+           "global_loading_vector"]
+
+#: Feature shifts (z-units at severity 1) that apply to *every* sick patient
+#: regardless of archetype — the physiology of generally being unwell.
+GLOBAL_LOADINGS = {
+    "GCS": -0.9,
+    "HR": 0.4,
+    "RespRate": 0.35,
+    "MAP": -0.3,
+    "Urine": -0.35,
+    "Albumin": -0.25,
+    "Platelets": -0.2,
+    "HCO3": -0.2,
+}
+
+
+def global_loading_vector():
+    """Dense per-feature vector of the global illness loadings."""
+    vec = np.zeros(NUM_FEATURES)
+    for name, shift in GLOBAL_LOADINGS.items():
+        vec[feature_index(name)] = shift
+    return vec
+
+
+@dataclass
+class SeverityTrajectory:
+    """A sampled latent trajectory and its event metadata.
+
+    Attributes
+    ----------
+    severity:
+        Array of shape (T,), non-negative severity per hour.
+    onset_hour:
+        Hour at which the acute event begins, or ``None``.
+    recovery_hour:
+        Hour at which an acute event begins to resolve, or ``None``.
+    had_late_event:
+        Whether an acute late event was sampled.
+    """
+
+    severity: np.ndarray
+    onset_hour: int | None
+    recovery_hour: int | None
+    had_late_event: bool
+
+    @property
+    def peak(self):
+        return float(self.severity.max())
+
+    @property
+    def late_mean(self):
+        """Mean severity over the final 8 hours (weighs recency)."""
+        return float(self.severity[-8:].mean())
+
+    @property
+    def overall_mean(self):
+        return float(self.severity.mean())
+
+    def risk_score(self):
+        """Scalar summary used in the label logits.
+
+        Recency-weighted: the late window and the peak dominate, matching
+        the clinical intuition that dying patients deteriorate and do not
+        recover before the end of the observation window.
+        """
+        return 0.25 * self.overall_mean + 0.45 * self.late_mean + 0.30 * self.peak
+
+
+def sample_trajectory(rng, steps, late_event_prob, initial_scale=1.0):
+    """Sample one severity trajectory.
+
+    Parameters
+    ----------
+    rng:
+        ``numpy.random.Generator``.
+    steps:
+        Number of hourly steps (48 in the paper's setting).
+    late_event_prob:
+        Archetype-specific probability of an acute late event.
+    initial_scale:
+        Multiplier on the initial severity (used to vary case mix).
+
+    Returns
+    -------
+    SeverityTrajectory
+    """
+    severity = np.empty(steps)
+    level = max(0.05, rng.normal(0.9, 0.35)) * initial_scale
+    recovery_rate = rng.uniform(0.010, 0.045)
+    noise_scale = 0.06
+
+    had_event = rng.random() < late_event_prob
+    onset = None
+    recovery = None
+    if had_event:
+        onset = int(rng.integers(int(steps * 0.25), int(steps * 0.92)))
+        jump = rng.uniform(0.7, 1.6)
+        # Roughly half of acute events get controlled before the window ends.
+        if rng.random() < 0.5 and onset < steps - 10:
+            recovery = int(rng.integers(onset + 5, steps - 2))
+
+    post_event_drift = rng.uniform(0.01, 0.05)
+    for t in range(steps):
+        if had_event and t == onset:
+            level += jump
+        if had_event and onset <= t and (recovery is None or t < recovery):
+            level += post_event_drift
+        else:
+            level -= recovery_rate * level
+        level += rng.normal(0.0, noise_scale)
+        level = max(level, 0.0)
+        severity[t] = level
+
+    return SeverityTrajectory(severity=severity, onset_hour=onset,
+                              recovery_hour=recovery, had_late_event=had_event)

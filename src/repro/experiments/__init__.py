@@ -1,0 +1,32 @@
+"""Experiment runners: one module per paper table or figure.
+
+See DESIGN.md's per-experiment index for the mapping.
+"""
+
+from .config import ExperimentConfig, default_config
+from .figure6 import FIGURE6_MODELS, render_figure6, run_figure6
+from .figure7 import render_figure7, run_figure7
+from .figure8 import attention_summary, run_figure8
+from .figure9 import relevant_vs_irrelevant, run_figure9
+from .figure10 import run_figure10
+from .formatting import format_metric, render_table
+from .interpretability import patient_a_processed, trained_model
+from .runner import aggregate_seeds, run_grid, train_and_evaluate
+from .table1 import render_table1, run_table1
+from .table2 import ESSENTIAL_FEATURES, render_table2, run_table2
+from .table3 import TABLE3_MODELS, render_table3, run_table3
+
+__all__ = [
+    "ExperimentConfig", "default_config",
+    "run_table1", "render_table1",
+    "run_figure6", "render_figure6", "FIGURE6_MODELS",
+    "run_figure7", "render_figure7",
+    "run_figure8", "attention_summary",
+    "run_table2", "render_table2", "ESSENTIAL_FEATURES",
+    "run_figure9", "relevant_vs_irrelevant",
+    "run_figure10",
+    "run_table3", "render_table3", "TABLE3_MODELS",
+    "trained_model", "patient_a_processed",
+    "train_and_evaluate", "run_grid", "aggregate_seeds",
+    "render_table", "format_metric",
+]

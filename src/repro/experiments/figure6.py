@@ -1,0 +1,60 @@
+"""Figure 6 — main results: ELDA-Net vs. 12 baselines.
+
+Reproduces the paper's four panels: {PhysioNet2012, MIMIC-III} x
+{in-hospital mortality, LOS > 7 days}, each reporting BCE loss, AUC-ROC,
+and AUC-PR for every model.
+
+The paper's headline claims this harness checks:
+
+* ELDA-Net is the best model in every (dataset, task) cell on every
+  metric;
+* time-series models beat the pooled models (LR / FM / AFM);
+* FM beats LR (pairwise interactions help even without time).
+"""
+
+from __future__ import annotations
+
+from ..baselines import BASELINE_NAMES
+from .config import default_config
+from .formatting import format_metric, render_table
+from .runner import run_grid
+
+__all__ = ["FIGURE6_MODELS", "run_figure6", "render_figure6"]
+
+#: Models in the paper's presentation order, ELDA-Net last.
+FIGURE6_MODELS = BASELINE_NAMES + ("ELDA-Net",)
+
+#: The four evaluation cells of Figure 6.
+CELLS = (
+    ("physionet2012", "mortality"),
+    ("physionet2012", "los"),
+    ("mimic3", "mortality"),
+    ("mimic3", "los"),
+)
+
+
+def run_figure6(config=None, models=FIGURE6_MODELS, cells=CELLS):
+    """Run the full comparison grid.
+
+    Returns ``{(cohort, task): {model: metrics}}``.
+    """
+    config = config or default_config()
+    return {(cohort, task): run_grid(models, cohort, task, config)
+            for cohort, task in cells}
+
+
+def render_figure6(results):
+    """Render each (cohort, task) panel as a metrics table."""
+    blocks = []
+    for (cohort, task), per_model in results.items():
+        rows = [
+            [name,
+             format_metric(metrics["bce"]),
+             format_metric(metrics["auc_roc"]),
+             format_metric(metrics["auc_pr"])]
+            for name, metrics in per_model.items()
+        ]
+        blocks.append(render_table(
+            ["model", "BCE loss", "AUC-ROC", "AUC-PR"], rows,
+            title=f"Figure 6 panel: {cohort} / {task}"))
+    return "\n\n".join(blocks)

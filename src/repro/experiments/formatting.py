@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment outputs.
+
+The benchmark harness prints the same rows the paper's tables and figures
+report; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_metric"]
+
+
+def format_metric(value, digits=3):
+    """Format a float metric, tolerating NaN and ints."""
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "n/a"
+    return f"{value:.{digits}f}"
+
+
+def render_table(headers, rows, title=None):
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Sequence of column names.
+    rows:
+        Sequence of row sequences; cells are stringified as-is (use
+        :func:`format_metric` for floats).
+    title:
+        Optional heading printed above the table.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

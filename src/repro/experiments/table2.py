@@ -1,0 +1,48 @@
+"""Table II — Patient A's essential medical features.
+
+Reports the standardized values of the case-study features (FiO2, Glucose,
+HCO3, HCT, HR, Lactate, MAP, Temp, pH, WBC) at selected hours of
+Patient A's admission, mirroring the paper's Table II.  The expected DLA
+signature: Glucose/Lactate strongly positive, pH/HCO3/Temp/MAP negative
+during the crisis, with HCT/WBC near baseline throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import load_cohort
+from ..data.schema import feature_index
+from .config import default_config
+from .formatting import format_metric, render_table
+from .interpretability import patient_a_processed
+
+__all__ = ["ESSENTIAL_FEATURES", "run_table2", "render_table2"]
+
+#: Feature panel of the paper's Table II.
+ESSENTIAL_FEATURES = ("FiO2", "Glucose", "HCO3", "HCT", "HR", "Lactate",
+                      "MAP", "Temp", "pH", "WBC")
+
+#: Hours the paper tabulates (includes the two Figure 9 time steps).
+HOURS = (1, 7, 13, 19, 25, 31, 35, 41, 47)
+
+
+def run_table2(config=None, cohort="physionet2012", hours=HOURS):
+    """Return ``{feature: {hour: standardized value}}`` for Patient A."""
+    config = config or default_config()
+    splits = load_cohort(cohort, scale=config.scale)
+    values, _, _ = patient_a_processed(splits.standardizer)
+    return {
+        name: {hour: float(values[hour, feature_index(name)])
+               for hour in hours}
+        for name in ESSENTIAL_FEATURES
+    }
+
+
+def render_table2(results):
+    """Render the feature-by-hour matrix."""
+    hours = sorted(next(iter(results.values())))
+    rows = [[name] + [format_metric(results[name][h], 2) for h in hours]
+            for name in results]
+    return render_table(["feature"] + [f"h{h}" for h in hours], rows,
+                        title="Table II: Patient A (standardized values)")

@@ -1,0 +1,13 @@
+"""Evaluation metrics (BCE, AUC-ROC, AUC-PR, and friends)."""
+
+from .calibration import (brier_score, expected_calibration_error,
+                          reliability_curve)
+from .classification import (accuracy, auc_pr, auc_roc, bce_loss,
+                             bootstrap_metric, evaluate_all, f1_score,
+                             precision_recall_curve, roc_curve)
+
+__all__ = [
+    "auc_roc", "auc_pr", "bce_loss", "accuracy", "f1_score",
+    "precision_recall_curve", "roc_curve", "bootstrap_metric", "evaluate_all",
+    "brier_score", "expected_calibration_error", "reliability_curve",
+]

@@ -1,0 +1,22 @@
+"""``repro.nn`` — a from-scratch deep-learning substrate on numpy.
+
+The ELDA paper implements its models in Keras/TensorFlow; this package
+provides the equivalent substrate: a reverse-mode autodiff tensor, a module
+system, layers (dense, recurrent, attention, conv, normalization),
+initializers, optimizers, and losses.  Gradients are validated against
+finite differences in the test suite.
+"""
+
+from . import init, losses, ops, schedules
+from .module import Module, ModuleList, Parameter
+from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
+from .serialization import load_weights, save_weights
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "Module", "ModuleList", "Parameter",
+    "Optimizer", "SGD", "Adam", "RMSProp", "clip_grad_norm",
+    "save_weights", "load_weights",
+    "ops", "init", "losses", "schedules",
+]

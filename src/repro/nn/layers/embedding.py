@@ -1,0 +1,39 @@
+"""Embedding layers for categorical indices and positional encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import init, ops
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["Embedding", "positional_encoding"]
+
+
+class Embedding(Module):
+    """Lookup table mapping integer indices to dense vectors."""
+
+    def __init__(self, num_embeddings, embedding_size, rng):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_size = embedding_size
+        self.table = Parameter(init.normal((num_embeddings, embedding_size), rng))
+
+    def forward(self, indices):
+        return ops.embedding_lookup(self.table, indices)
+
+
+def positional_encoding(steps, model_size):
+    """Sinusoidal positional encoding of shape (steps, model_size).
+
+    Used by SAnD to inject temporal order into its self-attention stack.
+    """
+    positions = np.arange(steps)[:, None]
+    dims = np.arange(model_size)[None, :]
+    angle_rates = 1.0 / np.power(10000.0, (2 * (dims // 2)) / model_size)
+    angles = positions * angle_rates
+    encoding = np.zeros((steps, model_size))
+    encoding[:, 0::2] = np.sin(angles[:, 0::2])
+    encoding[:, 1::2] = np.cos(angles[:, 1::2])
+    return Tensor(encoding)

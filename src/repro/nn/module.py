@@ -1,0 +1,154 @@
+"""Module system: parameters, composable modules, and state dicts.
+
+Mirrors the familiar torch-style API at a small scale:
+
+* :class:`Parameter` — a trainable :class:`~repro.nn.tensor.Tensor`;
+* :class:`Module` — auto-registers parameters and child modules assigned
+  as attributes, exposes ``parameters()``, ``named_parameters()``,
+  ``state_dict()`` / ``load_state_dict()``, and a train/eval switch;
+* :class:`ModuleList` — an indexable container of child modules.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses define parameters and child modules as attributes in
+    ``__init__`` and implement :meth:`forward`.  Calling the module invokes
+    ``forward``.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix=""):
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self):
+        """Return all parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self):
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def modules(self):
+        """Yield this module and all descendants."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def zero_grad(self):
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def train(self, mode=True):
+        """Set training mode recursively (affects dropout etc.)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self):
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Return an ordered mapping of parameter name -> numpy array copy."""
+        return OrderedDict((name, param.data.copy())
+                           for name, param in self.named_parameters())
+
+    def load_state_dict(self, state):
+        """Load parameter values from a mapping produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != own[name].shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{value.shape} vs {own[name].shape}")
+            own[name].data[...] = value
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """A list of child modules registered for parameter discovery."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module):
+        if not isinstance(module, Module):
+            raise TypeError("ModuleList only stores Module instances")
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+        return self
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]

@@ -1,0 +1,604 @@
+"""Differentiable primitive operations for :class:`repro.nn.Tensor`.
+
+Every function takes tensors (or array-likes, which are promoted) and
+returns a new tensor wired into the computation graph.  The backward
+closures follow a single convention: they receive the gradient of the loss
+w.r.t. the op output and accumulate gradients into each parent that
+requires them, using :func:`repro.nn.tensor.unbroadcast` to undo numpy
+broadcasting.
+"""
+
+from __future__ import annotations
+
+import builtins
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, unbroadcast
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "power", "matmul", "exp", "log",
+    "sqrt", "tanh", "sigmoid", "relu", "leaky_relu", "clip", "abs",
+    "maximum", "minimum", "sum", "mean", "max", "min", "var",
+    "reshape", "transpose", "swapaxes", "getitem", "concat", "stack",
+    "split", "softmax", "log_softmax", "where", "dropout_mask", "pad_last",
+    "outer_last", "embedding_lookup",
+]
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+
+def add(a, b):
+    """Elementwise ``a + b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def sub(a, b):
+    """Elementwise ``a - b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(-grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def mul(a, b):
+    """Elementwise ``a * b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad * a.data, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def div(a, b):
+    """Elementwise ``a / b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad / b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(-grad * a.data / (b.data ** 2), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def neg(a):
+    """Elementwise negation."""
+    a = as_tensor(a)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(-grad)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def power(a, exponent):
+    """Elementwise ``a ** exponent`` for a constant scalar exponent."""
+    a = as_tensor(a)
+    if isinstance(exponent, Tensor):
+        raise TypeError("power() only supports constant scalar exponents")
+    exponent = float(exponent)
+    out_data = a.data ** exponent
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * exponent * a.data ** (exponent - 1.0))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def abs(a):  # noqa: A001 - mirrors numpy naming
+    """Elementwise absolute value (subgradient 0 at 0)."""
+    a = as_tensor(a)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * np.sign(a.data))
+
+    return Tensor._make(np.abs(a.data), (a,), backward)
+
+
+def maximum(a, b):
+    """Elementwise maximum; ties send the gradient to ``a``."""
+    a, b = as_tensor(a), as_tensor(b)
+    mask = a.data >= b.data
+    out_data = np.where(mask, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * mask, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad * (~mask), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def minimum(a, b):
+    """Elementwise minimum; ties send the gradient to ``a``."""
+    a, b = as_tensor(a), as_tensor(b)
+    mask = a.data <= b.data
+    out_data = np.where(mask, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * mask, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad * (~mask), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def clip(a, low, high):
+    """Clamp values to ``[low, high]``; gradient is zero outside the range."""
+    a = as_tensor(a)
+    out_data = np.clip(a.data, low, high)
+    mask = (a.data >= low) & (a.data <= high)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def where(condition, a, b):
+    """Elementwise select: ``a`` where ``condition`` is true, else ``b``.
+
+    ``condition`` is a constant boolean array, not differentiated through.
+    """
+    cond = np.asarray(condition, dtype=bool)
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad * (~cond), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Transcendental / activation functions
+# ----------------------------------------------------------------------
+
+def exp(a):
+    """Elementwise exponential."""
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * out_data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log(a):
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+    out_data = np.log(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad / a.data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sqrt(a):
+    """Elementwise square root."""
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * 0.5 / out_data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def tanh(a):
+    """Elementwise hyperbolic tangent."""
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * (1.0 - out_data ** 2))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sigmoid(a):
+    """Numerically stable elementwise logistic sigmoid."""
+    a = as_tensor(a)
+    x = a.data
+    out_data = np.empty_like(x)
+    pos = x >= 0
+    out_data[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out_data[~pos] = ex / (1.0 + ex)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def relu(a):
+    """Elementwise rectified linear unit."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = a.data * mask
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def leaky_relu(a, negative_slope=0.01):
+    """Leaky ReLU with configurable negative-side slope."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    slope = np.where(mask, 1.0, negative_slope)
+    out_data = a.data * slope
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * slope)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+def _expand_reduced(grad, shape, axis, keepdims):
+    """Broadcast a reduced gradient back to the pre-reduction shape."""
+    if axis is None:
+        return np.broadcast_to(grad, shape)
+    if not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = builtins.sorted(ax % len(shape) for ax in axes)
+        for ax in axes:
+            grad = np.expand_dims(grad, ax)
+    return np.broadcast_to(grad, shape)
+
+
+def sum(a, axis=None, keepdims=False):  # noqa: A001 - mirrors numpy naming
+    """Sum over the given axis (or all axes)."""
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(_expand_reduced(grad, a.shape, axis, keepdims))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mean(a, axis=None, keepdims=False):
+    """Mean over the given axis (or all axes)."""
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.shape[ax % a.ndim] for ax in (axis if isinstance(axis, tuple) else (axis,))])
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(_expand_reduced(grad, a.shape, axis, keepdims) / count)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def max(a, axis=None, keepdims=False):  # noqa: A001
+    """Maximum over the given axis; gradient is split evenly among ties."""
+    a = as_tensor(a)
+    out_data = a.data.max(axis=axis, keepdims=keepdims)
+    expanded = a.data.max(axis=axis, keepdims=True) if axis is not None else out_data
+    mask = (a.data == expanded).astype(np.float64)
+    mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(_expand_reduced(grad, a.shape, axis, keepdims) * mask)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def min(a, axis=None, keepdims=False):  # noqa: A001
+    """Minimum over the given axis; gradient is split evenly among ties."""
+    return neg(max(neg(a), axis=axis, keepdims=keepdims))
+
+
+def var(a, axis=None, keepdims=False):
+    """Population variance over the given axis (ddof=0)."""
+    mu = mean(a, axis=axis, keepdims=True)
+    centered = sub(a, mu)
+    return mean(mul(centered, centered), axis=axis, keepdims=keepdims)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+
+def matmul(a, b):
+    """Matrix product with numpy's stacked-batch semantics.
+
+    Supports ``(..., m, k) @ (..., k, n)`` with broadcasting of the leading
+    batch dimensions, plus 1-D operands following numpy's rules.
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad):
+        a_data, b_data = a.data, b.data
+        if a.requires_grad:
+            if b_data.ndim == 1:
+                if a_data.ndim == 1:
+                    grad_a = grad * b_data
+                else:
+                    grad_a = np.expand_dims(grad, -1) * b_data
+            else:
+                g = np.expand_dims(grad, -2) if a_data.ndim == 1 else grad
+                grad_a = g @ np.swapaxes(b_data, -1, -2)
+                if a_data.ndim == 1:
+                    grad_a = grad_a.reshape(a_data.shape[-1:]) if grad_a.ndim <= 2 \
+                        else grad_a.sum(axis=tuple(range(grad_a.ndim - 2))).reshape(-1)
+            a._accumulate(unbroadcast(grad_a, a.shape))
+        if b.requires_grad:
+            if a_data.ndim == 1:
+                if b_data.ndim == 1:
+                    grad_b = grad * a_data
+                else:
+                    grad_b = np.expand_dims(a_data, -1) * grad
+            else:
+                g = np.expand_dims(grad, -1) if b_data.ndim == 1 else grad
+                grad_b = np.swapaxes(a_data, -1, -2) @ g
+                if b_data.ndim == 1:
+                    # Drop the column axis we added, then sum any batch dims.
+                    grad_b = grad_b[..., 0]
+                    if grad_b.ndim > 1:
+                        grad_b = grad_b.sum(axis=tuple(range(grad_b.ndim - 1)))
+            b._accumulate(unbroadcast(grad_b, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def outer_last(a, b):
+    """Pairwise product over the last axis: ``out[..., i, j] = a[..., i] * b[..., j]``.
+
+    Used to form explicit pairwise interaction grids without a Python loop.
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data[..., :, None] * b.data[..., None, :]
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast((grad * b.data[..., None, :]).sum(-1), a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast((grad * a.data[..., :, None]).sum(-2), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+
+def reshape(a, shape):
+    """Reshape without copying data."""
+    a = as_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad.reshape(a.shape))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def transpose(a, axes=None):
+    """Permute axes (full reverse by default, like ``ndarray.T``)."""
+    a = as_tensor(a)
+    out_data = a.data.transpose(axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad.transpose(inverse) if inverse is not None
+                          else grad.transpose())
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def swapaxes(a, axis1, axis2):
+    """Swap two axes."""
+    a = as_tensor(a)
+    out_data = np.swapaxes(a.data, axis1, axis2)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(np.swapaxes(grad, axis1, axis2))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def getitem(a, index):
+    """Basic and advanced indexing; gradients scatter-add back."""
+    a = as_tensor(a)
+    out_data = a.data[index]
+
+    def backward(grad):
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            np.add.at(full, index, grad)
+            a._accumulate(full)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def concat(tensors, axis=-1):
+    """Concatenate tensors along an axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors, axis=0):
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        slices = np.moveaxis(grad, axis, 0)
+        for t, g in zip(tensors, slices):
+            if t.requires_grad:
+                t._accumulate(g)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def split(a, sections, axis=-1):
+    """Split into equal sections along an axis; returns a list of tensors."""
+    a = as_tensor(a)
+    size = a.shape[axis]
+    if size % sections:
+        raise ValueError(f"axis of size {size} cannot be split into {sections} equal parts")
+    step = size // sections
+    outs = []
+    for k in range(sections):
+        slicer = [slice(None)] * a.ndim
+        slicer[axis] = slice(k * step, (k + 1) * step)
+        outs.append(getitem(a, tuple(slicer)))
+    return outs
+
+
+def pad_last(a, before, after, value=0.0):
+    """Pad the last axis with a constant value."""
+    a = as_tensor(a)
+    widths = [(0, 0)] * (a.ndim - 1) + [(before, after)]
+    out_data = np.pad(a.data, widths, constant_values=value)
+
+    def backward(grad):
+        if a.requires_grad:
+            slicer = [slice(None)] * (a.ndim - 1) + [slice(before, before + a.shape[-1])]
+            a._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+
+def softmax(a, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exped = np.exp(shifted)
+    out_data = exped / exped.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        if a.requires_grad:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            a._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log_softmax(a, axis=-1):
+    """Numerically stable log-softmax along ``axis``."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Misc
+# ----------------------------------------------------------------------
+
+def dropout_mask(a, rate, rng):
+    """Apply inverted dropout with drop probability ``rate``.
+
+    The binary mask is sampled from ``rng`` and treated as a constant.
+    """
+    a = as_tensor(a)
+    if rate <= 0.0:
+        return a
+    keep = 1.0 - rate
+    mask = (rng.random(a.shape) < keep) / keep
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * mask)
+
+    return Tensor._make(a.data * mask, (a,), backward)
+
+
+def embedding_lookup(table, indices):
+    """Gather rows of a 2-D embedding ``table`` by integer ``indices``."""
+    table = as_tensor(table)
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = table.data[indices]
+
+    def backward(grad):
+        if table.requires_grad:
+            full = np.zeros_like(table.data)
+            np.add.at(full, indices.reshape(-1),
+                      grad.reshape(-1, table.shape[-1]))
+            table._accumulate(full)
+
+    return Tensor._make(out_data, (table,), backward)

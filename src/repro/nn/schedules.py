@@ -1,0 +1,82 @@
+"""Learning-rate schedules.
+
+Schedulers wrap an :class:`~repro.nn.optim.Optimizer` and mutate its
+``lr`` on each :meth:`step` (called once per epoch by convention).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["StepDecay", "CosineAnnealing", "ReduceOnPlateau"]
+
+
+class StepDecay:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size, gamma=0.1):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self, value=None):
+        """Advance one epoch (``value`` accepted for interface uniformity)."""
+        self._epoch += 1
+        decays = self._epoch // self.step_size
+        self.optimizer.lr = self._base_lr * (self.gamma ** decays)
+        return self.optimizer.lr
+
+
+class CosineAnnealing:
+    """Cosine decay from the initial lr to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer, total_epochs, min_lr=0.0):
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self._base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self, value=None):
+        """Advance one epoch (``value`` accepted for interface uniformity)."""
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        progress = self._epoch / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        self.optimizer.lr = self.min_lr + (self._base_lr - self.min_lr) * cosine
+        return self.optimizer.lr
+
+
+class ReduceOnPlateau:
+    """Halve (by ``factor``) the lr when a monitored value stops improving.
+
+    ``step(value)`` takes the latest validation loss (lower is better).
+    """
+
+    def __init__(self, optimizer, factor=0.5, patience=2, min_lr=1e-6):
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self._best = math.inf
+        self._stall = 0
+
+    def step(self, value):
+        """Report a new monitored value; maybe reduce the lr."""
+        if value < self._best - 1e-12:
+            self._best = value
+            self._stall = 0
+        else:
+            self._stall += 1
+            if self._stall > self.patience:
+                self.optimizer.lr = max(self.min_lr,
+                                        self.optimizer.lr * self.factor)
+                self._stall = 0
+        return self.optimizer.lr

@@ -1,0 +1,24 @@
+"""Save and load module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["save_weights", "load_weights"]
+
+# ``/`` is illegal inside npz member names on some platforms, and ``.`` is the
+# natural separator in parameter names; keep names verbatim — numpy handles
+# arbitrary keys fine since archives are plain zip files.
+
+
+def save_weights(module, path):
+    """Write ``module.state_dict()`` to ``path`` as a compressed npz archive."""
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_weights(module, path):
+    """Load weights saved by :func:`save_weights` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,5 @@
+"""Training harness (trainer with early stopping, history, timings)."""
+
+from .trainer import Trainer, TrainingHistory
+
+__all__ = ["Trainer", "TrainingHistory"]

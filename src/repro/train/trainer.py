@@ -1,0 +1,203 @@
+"""Generic training loop shared by ELDA-Net and every baseline.
+
+Any model exposing ``forward_batch(batch) -> logits`` (where ``batch`` is
+an :class:`repro.data.EMRDataset` subset) can be trained.  The trainer
+implements the paper's protocol: Adam at lr 1e-3, batch size 64, early
+stopping on the validation split, and the best-on-validation weights are
+restored before test evaluation.  It also records per-batch training and
+prediction wall-clock, which feeds the Table III reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import iterate_batches
+from ..metrics import evaluate_all
+from ..nn.losses import bce_with_logits, cross_entropy
+
+__all__ = ["Trainer", "TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of losses, metrics, and timings."""
+
+    train_loss: list = field(default_factory=list)
+    val_loss: list = field(default_factory=list)
+    val_auc_pr: list = field(default_factory=list)
+    val_auc_roc: list = field(default_factory=list)
+    seconds_per_batch: float = 0.0
+    prediction_seconds_per_sample: float = 0.0
+    best_epoch: int = -1
+
+    @property
+    def num_epochs(self):
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Trains a sequence classifier with early stopping.
+
+    Parameters
+    ----------
+    model:
+        Module with ``forward_batch(batch) -> logits``.
+    task:
+        ``"mortality"`` or ``"los"``.
+    lr, batch_size:
+        Optimizer settings; paper defaults are 1e-3 and 64.
+    max_epochs:
+        Upper bound on training epochs.
+    patience:
+        Early-stopping patience in epochs on validation AUC-PR.
+    clip_norm:
+        Global gradient-norm clip (stabilizes recurrent models).
+    seed:
+        Seed for batch shuffling.
+    monitor:
+        Validation quantity for early stopping: ``"auc_pr"`` (default)
+        or ``"loss"``.
+    num_classes:
+        1 for the paper's binary tasks; > 1 enables the multi-class
+        (softmax / cross-entropy) path, e.g. for archetype phenotyping.
+    scheduler_factory:
+        Optional callable ``optimizer -> scheduler``; the scheduler's
+        ``step`` is called once per epoch with the validation loss (e.g.
+        ``lambda opt: nn.schedules.ReduceOnPlateau(opt)``).
+    """
+
+    def __init__(self, model, task, lr=1e-3, batch_size=64, max_epochs=20,
+                 patience=4, clip_norm=5.0, seed=0, monitor="auc_pr",
+                 num_classes=1, scheduler_factory=None):
+        if num_classes > 1 and monitor == "auc_pr":
+            monitor = "loss"
+        if monitor not in ("auc_pr", "loss"):
+            raise ValueError("monitor must be 'auc_pr' or 'loss'")
+        self.model = model
+        self.task = task
+        self.num_classes = num_classes
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.clip_norm = clip_norm
+        self.monitor = monitor
+        self.optimizer = nn.Adam(model.parameters(), lr=lr)
+        self.scheduler = (scheduler_factory(self.optimizer)
+                          if scheduler_factory is not None else None)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def fit(self, train, validation):
+        """Train until early stopping; returns a :class:`TrainingHistory`.
+
+        The model is left holding its best-on-validation weights.
+        """
+        history = TrainingHistory()
+        best_score = -np.inf
+        best_state = self.model.state_dict()
+        stall = 0
+        batch_times = []
+
+        for epoch in range(self.max_epochs):
+            self.model.train()
+            epoch_losses = []
+            for batch, labels in iterate_batches(train, self.task,
+                                                 self.batch_size, self._rng):
+                started = time.perf_counter()
+                self.optimizer.zero_grad()
+                logits = self.model.forward_batch(batch)
+                if self.num_classes > 1:
+                    loss = cross_entropy(logits, labels.astype(int))
+                else:
+                    loss = bce_with_logits(logits, labels.astype(float))
+                loss.backward()
+                nn.clip_grad_norm(self.model.parameters(), self.clip_norm)
+                self.optimizer.step()
+                batch_times.append(time.perf_counter() - started)
+                epoch_losses.append(loss.item())
+
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            val_metrics = self.evaluate(validation)
+            val_loss = val_metrics["ce" if self.num_classes > 1 else "bce"]
+            history.val_loss.append(val_loss)
+            history.val_auc_pr.append(val_metrics.get("auc_pr", float("nan")))
+            history.val_auc_roc.append(val_metrics.get("auc_roc", float("nan")))
+
+            if self.scheduler is not None:
+                self.scheduler.step(val_loss)
+
+            score = (-val_loss if self.monitor == "loss"
+                     else val_metrics["auc_pr"])
+            if np.isnan(score):
+                score = -np.inf
+            if score > best_score:
+                best_score = score
+                best_state = self.model.state_dict()
+                history.best_epoch = epoch
+                stall = 0
+            else:
+                stall += 1
+                if stall >= self.patience:
+                    break
+
+        self.model.load_state_dict(best_state)
+        history.seconds_per_batch = float(np.mean(batch_times)) if batch_times else 0.0
+        history.prediction_seconds_per_sample = self._time_prediction(validation)
+        return history
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, dataset):
+        """Predicted probabilities per admission.
+
+        Binary tasks return a vector of positive-class probabilities;
+        multi-class tasks return an (N, K) softmax matrix.
+        """
+        self.model.eval()
+        outputs = []
+        with nn.no_grad():
+            for batch, _ in iterate_batches(dataset, self.task,
+                                            self.batch_size):
+                logits = self.model.forward_batch(batch).data
+                if self.num_classes > 1:
+                    shifted = logits - logits.max(axis=-1, keepdims=True)
+                    exped = np.exp(shifted)
+                    outputs.append(exped / exped.sum(axis=-1, keepdims=True))
+                else:
+                    outputs.append(1.0 / (1.0 + np.exp(-logits)))
+        self.model.train()
+        return np.concatenate(outputs)
+
+    def evaluate(self, dataset):
+        """Task metrics of the current weights on a dataset.
+
+        Binary tasks report the paper's triple (BCE / AUC-ROC / AUC-PR);
+        multi-class tasks report cross-entropy and accuracy.
+        """
+        scores = self.predict_proba(dataset)
+        labels = dataset.labels(self.task)
+        if self.num_classes > 1:
+            picked = np.clip(scores[np.arange(len(labels)), labels.astype(int)],
+                             1e-12, None)
+            return {
+                "ce": float(-np.log(picked).mean()),
+                "accuracy": float((scores.argmax(axis=-1) == labels).mean()),
+            }
+        return evaluate_all(labels, scores)
+
+    def _time_prediction(self, dataset):
+        if len(dataset) == 0:
+            return 0.0
+        probe = dataset.subset(np.arange(min(len(dataset), 4 * self.batch_size)))
+        self.model.eval()
+        started = time.perf_counter()
+        with nn.no_grad():
+            for batch, _ in iterate_batches(probe, self.task, self.batch_size):
+                self.model.forward_batch(batch)
+        elapsed = time.perf_counter() - started
+        self.model.train()
+        return elapsed / len(probe)

@@ -1,0 +1,93 @@
+"""Tests of LR, FM, and AFM, including the FM linear-time identity."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines.pooled import (AttentionalFM, FactorizationMachine,
+                                    LogisticRegression, pooled_input)
+from repro.data import NUM_FEATURES
+
+
+class TestPooledInput:
+    def test_is_time_mean(self, tiny_dataset):
+        batch = tiny_dataset.subset(np.arange(5))
+        pooled = pooled_input(batch)
+        assert pooled.shape == (5, NUM_FEATURES)
+        assert np.allclose(pooled.data, batch.values.mean(axis=1))
+
+
+class TestLogisticRegression:
+    def test_logit_shape(self, tiny_dataset):
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(0))
+        logits = model.forward_batch(tiny_dataset.subset(np.arange(4)))
+        assert logits.shape == (4,)
+
+    def test_parameter_count_matches_paper(self):
+        """Table III reports 38 parameters for LR (37 weights + bias)."""
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(0))
+        assert model.num_parameters() == 38
+
+
+class TestFactorizationMachine:
+    def test_identity_matches_naive_pairwise_sum(self, rng):
+        """The O(C·e) trick must equal the explicit double loop of Eq. 1."""
+        model = FactorizationMachine(6, np.random.default_rng(1),
+                                     embedding_size=3)
+        x = rng.normal(size=6)
+
+        class FakeBatch:
+            values = x.reshape(1, 1, 6)
+
+        logit = model.forward_batch(FakeBatch()).data[0]
+
+        v = model.factors.data
+        naive = float(model.bias.data[0])
+        naive += float(x @ model.linear.data.reshape(-1))
+        for i in range(6):
+            for j in range(i + 1, 6):
+                naive += float(v[i] @ v[j]) * x[i] * x[j]
+        assert np.isclose(logit, naive, atol=1e-10)
+
+    def test_parameter_count_near_paper(self):
+        """Table III reports 630 parameters for FM."""
+        model = FactorizationMachine(NUM_FEATURES, np.random.default_rng(0))
+        assert model.num_parameters() == 1 + 37 + 37 * 16  # = 630
+
+    def test_gradients_flow(self, tiny_dataset):
+        model = FactorizationMachine(NUM_FEATURES, np.random.default_rng(0))
+        logits = model.forward_batch(tiny_dataset.subset(np.arange(4)))
+        (logits * logits).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestAttentionalFM:
+    def test_logit_shape(self, tiny_dataset):
+        model = AttentionalFM(NUM_FEATURES, np.random.default_rng(0))
+        logits = model.forward_batch(tiny_dataset.subset(np.arange(3)))
+        assert logits.shape == (3,)
+
+    def test_pair_count(self):
+        model = AttentionalFM(8, np.random.default_rng(0))
+        assert len(model._rows) == 8 * 7 // 2
+
+    def test_attention_discriminates_pairs(self, tiny_dataset, rng):
+        """AFM's whole point: pair weights are not uniform after init on
+        real inputs (the attention MLP breaks symmetry)."""
+        model = AttentionalFM(NUM_FEATURES, np.random.default_rng(3))
+        batch = tiny_dataset.subset(np.arange(2))
+        x = pooled_input(batch)
+        scaled = x.reshape(-1, NUM_FEATURES, 1) * model.factors
+        left = scaled[:, model._rows, :]
+        right = scaled[:, model._cols, :]
+        products = left * right
+        from repro.nn import ops
+        hidden = ops.relu(ops.matmul(products, model.attn_w) + model.attn_b)
+        weights = ops.softmax(ops.matmul(hidden, model.attn_h), axis=1).data
+        spread = weights.max() - weights.min()
+        assert spread > 1e-6
+
+    def test_more_parameters_than_fm(self):
+        fm = FactorizationMachine(NUM_FEATURES, np.random.default_rng(0))
+        afm = AttentionalFM(NUM_FEATURES, np.random.default_rng(0))
+        assert afm.num_parameters() > fm.num_parameters()

@@ -1,0 +1,117 @@
+"""Tests of GRU, RETAIN, Dipole, StageNet, and GRU-D baselines."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (Dipole, GRUClassifier, GRUD, RETAIN, StageNet)
+from repro.data import NUM_FEATURES
+
+
+@pytest.fixture
+def batch(tiny_dataset):
+    return tiny_dataset.subset(np.arange(5))
+
+
+class TestGRUClassifier:
+    def test_logits_shape(self, batch):
+        model = GRUClassifier(NUM_FEATURES, np.random.default_rng(0),
+                              hidden_size=8)
+        assert model.forward_batch(batch).shape == (5,)
+
+    def test_paper_parameter_count(self):
+        """Table III: ~20k parameters at hidden size 64."""
+        model = GRUClassifier(NUM_FEATURES, np.random.default_rng(0))
+        assert 18_000 < model.num_parameters() < 22_000
+
+
+class TestRETAIN:
+    def test_logits_shape(self, batch):
+        model = RETAIN(NUM_FEATURES, np.random.default_rng(0),
+                       embedding_size=8, alpha_hidden=6, beta_hidden=6)
+        assert model.forward_batch(batch).shape == (5,)
+
+    def test_visit_attention_is_distribution(self, batch):
+        model = RETAIN(NUM_FEATURES, np.random.default_rng(0),
+                       embedding_size=8, alpha_hidden=6, beta_hidden=6)
+        _, alpha = model.forward(nn.Tensor(batch.values),
+                                 return_attention=True)
+        assert alpha.shape == (5, batch.num_time_steps)
+        assert np.allclose(alpha.data.sum(axis=1), 1.0)
+
+    def test_gradients_flow(self, batch):
+        model = RETAIN(NUM_FEATURES, np.random.default_rng(0),
+                       embedding_size=8, alpha_hidden=6, beta_hidden=6)
+        model.forward_batch(batch).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestDipole:
+    @pytest.mark.parametrize("variant", ["location", "general", "concat"])
+    def test_variants_run(self, batch, variant):
+        model = Dipole(NUM_FEATURES, np.random.default_rng(0),
+                       variant=variant, hidden_size=6, attention_size=4)
+        assert model.forward_batch(batch).shape == (5,)
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            Dipole(NUM_FEATURES, np.random.default_rng(0), variant="spiral")
+
+    def test_attention_over_earlier_steps(self, batch):
+        model = Dipole(NUM_FEATURES, np.random.default_rng(0),
+                       variant="concat", hidden_size=6)
+        _, weights = model.forward(nn.Tensor(batch.values),
+                                   return_attention=True)
+        assert weights.shape == (5, batch.num_time_steps - 1)
+        assert np.allclose(weights.data.sum(axis=1), 1.0)
+
+    def test_variants_have_different_parameter_counts(self):
+        rng = np.random.default_rng
+        counts = {v: Dipole(NUM_FEATURES, rng(0), variant=v).num_parameters()
+                  for v in ("location", "general", "concat")}
+        assert counts["location"] < counts["general"]
+        assert counts["location"] < counts["concat"]
+
+
+class TestStageNet:
+    def test_logits_shape(self, batch):
+        model = StageNet(NUM_FEATURES, np.random.default_rng(0),
+                         hidden_size=8, conv_channels=8, kernel_size=3)
+        assert model.forward_batch(batch).shape == (5,)
+
+    def test_gradients_flow(self, batch):
+        model = StageNet(NUM_FEATURES, np.random.default_rng(0),
+                         hidden_size=8, conv_channels=8, kernel_size=3)
+        model.forward_batch(batch).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestGRUD:
+    def test_logits_shape(self, batch):
+        model = GRUD(NUM_FEATURES, np.random.default_rng(0), hidden_size=8)
+        assert model.forward_batch(batch).shape == (5,)
+
+    def test_input_decay_shrinks_stale_values(self):
+        """γ_x = exp(-relu(w δ)): old observations decay toward the mean."""
+        model = GRUD(NUM_FEATURES, np.random.default_rng(0), hidden_size=8)
+        w = np.abs(model.input_decay.data)
+        fresh = np.exp(-np.maximum(0.0, w * 1.0))
+        stale = np.exp(-np.maximum(0.0, w * 20.0))
+        assert np.all(stale <= fresh)
+
+    def test_uses_mask_and_deltas(self, tiny_dataset):
+        """Changing only the mask/deltas must change the prediction."""
+        model = GRUD(NUM_FEATURES, np.random.default_rng(0), hidden_size=8)
+        batch = tiny_dataset.subset(np.arange(2))
+        base = model.forward_batch(batch).data.copy()
+
+        altered = tiny_dataset.subset(np.arange(2))
+        altered.mask = np.zeros_like(altered.mask)
+        altered.deltas = np.full_like(altered.deltas, 10.0)
+        changed = model.forward_batch(altered).data
+        assert not np.allclose(base, changed)
+
+    def test_gradients_flow(self, batch):
+        model = GRUD(NUM_FEATURES, np.random.default_rng(0), hidden_size=8)
+        model.forward_batch(batch).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())

@@ -1,0 +1,62 @@
+"""Tests of the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_MODEL_NAMES, BASELINE_NAMES, build_model
+from repro.data import NUM_FEATURES
+
+SMALL_KWARGS = {
+    "LR": {},
+    "FM": dict(embedding_size=4),
+    "AFM": dict(embedding_size=4, attention_size=3),
+    "SAnD": dict(model_size=8, num_heads=2, num_blocks=1, ffn_size=8,
+                 interpolation=4),
+    "GRU": dict(hidden_size=6),
+    "RETAIN": dict(embedding_size=6, alpha_hidden=4, beta_hidden=4),
+    "Dipole_l": dict(hidden_size=4),
+    "Dipole_g": dict(hidden_size=4),
+    "Dipole_c": dict(hidden_size=4, attention_size=4),
+    "StageNet": dict(hidden_size=6, conv_channels=6, kernel_size=3),
+    "GRU-D": dict(hidden_size=6),
+    "ConCare": dict(feature_hidden=4, num_heads=2),
+    "ELDA-Net": dict(embedding_size=4, hidden_size=6, compression=2),
+    "ELDA-Net-T": dict(hidden_size=6),
+    "ELDA-Net-Fbi": dict(embedding_size=4, hidden_size=6, compression=2),
+    "ELDA-Net-Fbi*": dict(embedding_size=4, hidden_size=6, compression=2),
+    "ELDA-Net-Ffm": dict(embedding_size=4, hidden_size=6, compression=2),
+    "ELDA-Net-Ffm*": dict(embedding_size=4, hidden_size=6, compression=2),
+}
+
+
+class TestRegistry:
+    def test_twelve_baselines(self):
+        assert len(BASELINE_NAMES) == 12
+
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_every_model_builds_and_predicts(self, name, tiny_dataset):
+        model = build_model(name, NUM_FEATURES, np.random.default_rng(0),
+                            **SMALL_KWARGS[name])
+        batch = tiny_dataset.subset(np.arange(3))
+        logits = model.forward_batch(batch)
+        assert logits.shape == (3,)
+        assert np.all(np.isfinite(logits.data))
+
+    def test_case_insensitive(self):
+        model = build_model("gru-d", NUM_FEATURES, np.random.default_rng(0),
+                            hidden_size=4)
+        from repro.baselines import GRUD
+        assert isinstance(model, GRUD)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("AlphaFold", NUM_FEATURES, np.random.default_rng(0))
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        batch = tiny_dataset.subset(np.arange(2))
+        a = build_model("GRU", NUM_FEATURES, np.random.default_rng(7),
+                        hidden_size=4)
+        b = build_model("GRU", NUM_FEATURES, np.random.default_rng(7),
+                        hidden_size=4)
+        assert np.allclose(a.forward_batch(batch).data,
+                           b.forward_batch(batch).data)

@@ -1,0 +1,53 @@
+"""Tests of the SAnD baseline and its dense interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SAnD
+from repro.baselines.sand import dense_interpolation_weights
+from repro.data import NUM_FEATURES
+
+
+class TestDenseInterpolation:
+    def test_shape(self):
+        assert dense_interpolation_weights(48, 12).shape == (12, 48)
+
+    def test_weights_nonnegative_and_bounded(self):
+        w = dense_interpolation_weights(48, 12)
+        assert np.all(w >= 0)
+        assert np.all(w <= 1)
+
+    def test_triangular_structure(self):
+        """Pseudo-timestamp m attends most to t ≈ m·T/M."""
+        w = dense_interpolation_weights(48, 4)
+        peaks = w.argmax(axis=1)
+        assert list(peaks) == sorted(peaks)
+
+
+class TestSAnD:
+    def test_logits_shape(self, tiny_dataset):
+        model = SAnD(NUM_FEATURES, np.random.default_rng(0), model_size=8,
+                     num_heads=2, num_blocks=1, ffn_size=16, interpolation=4)
+        batch = tiny_dataset.subset(np.arange(4))
+        assert model.forward_batch(batch).shape == (4,)
+
+    def test_causal_blocks(self):
+        model = SAnD(NUM_FEATURES, np.random.default_rng(0), model_size=8,
+                     num_heads=2, num_blocks=2, ffn_size=16, interpolation=4)
+        assert all(block.attention.causal for block in model.blocks)
+
+    def test_gradients_flow(self, tiny_dataset):
+        model = SAnD(NUM_FEATURES, np.random.default_rng(0), model_size=8,
+                     num_heads=2, num_blocks=1, ffn_size=16, interpolation=4)
+        batch = tiny_dataset.subset(np.arange(2))
+        model.forward_batch(batch).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_interpolation_cache_reused(self, tiny_dataset):
+        model = SAnD(NUM_FEATURES, np.random.default_rng(0), model_size=8,
+                     num_heads=2, num_blocks=1, ffn_size=16, interpolation=4)
+        batch = tiny_dataset.subset(np.arange(2))
+        model.forward_batch(batch)
+        first = model._interp_cache[batch.num_time_steps]
+        model.forward_batch(batch)
+        assert model._interp_cache[batch.num_time_steps] is first

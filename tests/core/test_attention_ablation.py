@@ -1,0 +1,53 @@
+"""Tests of the uniform-pooling (attention-off) ablation path."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.elda_net import ELDANet
+from repro.core.feature_interaction import FeatureInteractionModule
+
+C, E, D = 5, 4, 2
+
+
+@pytest.fixture
+def embedded(rng):
+    return rng.normal(size=(2, 3, C, E))
+
+
+class TestUniformPooling:
+    def test_alpha_uniform_off_diagonal(self, embedded):
+        module = FeatureInteractionModule(C, E, D, np.random.default_rng(0),
+                                          use_attention=False)
+        _, alpha = module(nn.Tensor(embedded), return_attention=True)
+        expected = 1.0 / (C - 1)
+        off_diag = alpha.data[..., ~np.eye(C, dtype=bool)]
+        assert np.allclose(off_diag, expected)
+        assert np.allclose(np.diagonal(alpha.data, axis1=-2, axis2=-1), 0.0)
+
+    def test_output_shape_unchanged(self, embedded):
+        module = FeatureInteractionModule(C, E, D, np.random.default_rng(0),
+                                          use_attention=False)
+        assert module(nn.Tensor(embedded)).shape == (2, 3, C * D)
+
+    def test_differs_from_attended_output(self, embedded):
+        attended = FeatureInteractionModule(C, E, D, np.random.default_rng(0))
+        uniform = FeatureInteractionModule(C, E, D, np.random.default_rng(0),
+                                           use_attention=False)
+        a = attended(nn.Tensor(embedded)).data
+        b = uniform(nn.Tensor(embedded)).data
+        assert not np.allclose(a, b)
+
+    def test_gradients_still_flow_to_compress(self, embedded):
+        module = FeatureInteractionModule(C, E, D, np.random.default_rng(0),
+                                          use_attention=False)
+        out = module(nn.Tensor(embedded))
+        (out * out).sum().backward()
+        assert module.compress.grad is not None
+
+    def test_elda_net_flag(self, rng):
+        model = ELDANet(C, np.random.default_rng(0), embedding_size=E,
+                        hidden_size=6, compression=D, feature_attention=False)
+        values = rng.normal(size=(2, 4, C))
+        probs = model(values)
+        assert probs.shape == (2,)

@@ -1,0 +1,127 @@
+"""Tests of the assembled ELDA-Net and its ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.elda_net import ELDANet, VARIANT_NAMES, build_variant
+
+C = 7
+B, T = 4, 6
+
+
+@pytest.fixture
+def inputs(rng):
+    values = rng.normal(size=(B, T, C))
+    ever = rng.random((B, C)) > 0.1
+    return values, ever
+
+
+class TestForward:
+    def test_probabilities_in_unit_interval(self, inputs):
+        model = ELDANet(C, np.random.default_rng(0), embedding_size=6,
+                        hidden_size=8, compression=2)
+        values, ever = inputs
+        probs = model(values, ever_observed=ever)
+        assert probs.shape == (B,)
+        assert np.all((probs.data > 0) & (probs.data < 1))
+
+    def test_logits_match_forward_through_sigmoid(self, inputs):
+        model = ELDANet(C, np.random.default_rng(0), embedding_size=6,
+                        hidden_size=8, compression=2)
+        values, ever = inputs
+        with nn.no_grad():
+            probs = model(values, ever_observed=ever).data
+            logits = model.logits(values, ever_observed=ever).data
+        assert np.allclose(probs, 1 / (1 + np.exp(-logits)))
+
+    def test_attention_dict_keys_full_model(self, inputs):
+        model = ELDANet(C, np.random.default_rng(0), embedding_size=6,
+                        hidden_size=8, compression=2)
+        values, ever = inputs
+        _, attention = model(values, ever_observed=ever,
+                             return_attention=True)
+        assert set(attention) == {"feature", "time"}
+        assert attention["feature"].shape == (B, T, C, C)
+        assert attention["time"].shape == (B, T - 1)
+
+    def test_forward_batch_uses_dataset_fields(self, tiny_splits):
+        model = ELDANet(37, np.random.default_rng(0), embedding_size=4,
+                        hidden_size=6, compression=2)
+        batch = tiny_splits.train.subset(np.arange(3))
+        logits = model.forward_batch(batch)
+        assert logits.shape == (3,)
+
+    def test_gradients_reach_every_parameter(self, inputs):
+        model = ELDANet(C, np.random.default_rng(0), embedding_size=6,
+                        hidden_size=8, compression=2)
+        values, ever = inputs
+        probs = model(values, ever_observed=np.ones_like(ever))
+        probs.sum().backward()
+        missing = [name for name, p in model.named_parameters()
+                   if p.grad is None]
+        # The missing-value table only gets gradients when a feature is
+        # never observed; everything else must be reached.
+        assert missing in ([], ["embedding.missing_table"])
+
+
+class TestVariants:
+    @pytest.mark.parametrize("name", VARIANT_NAMES)
+    def test_all_variants_build_and_run(self, name, inputs):
+        model = build_variant(name, C, np.random.default_rng(0),
+                              embedding_size=6, hidden_size=8, compression=2)
+        values, ever = inputs
+        probs = model(values, ever_observed=ever)
+        assert probs.shape == (B,)
+
+    def test_t_variant_has_no_feature_module(self):
+        model = build_variant("ELDA-Net-T", C, np.random.default_rng(0),
+                              hidden_size=8)
+        assert not model.use_feature_module
+        names = [n for n, _ in model.named_parameters()]
+        assert not any(n.startswith("embedding") for n in names)
+
+    def test_f_variants_have_no_time_module(self):
+        model = build_variant("ELDA-Net-Fbi", C, np.random.default_rng(0),
+                              embedding_size=6, hidden_size=8, compression=2)
+        assert not model.use_time_module
+        _, attention = model(np.zeros((1, 3, C)), return_attention=True)
+        assert "time" not in attention
+
+    def test_fm_variant_uses_fm_embedding(self):
+        from repro.core.embedding import FMEmbedding
+        model = build_variant("ELDA-Net-Ffm", C, np.random.default_rng(0),
+                              embedding_size=6, hidden_size=8, compression=2)
+        assert isinstance(model.embedding, FMEmbedding)
+
+    def test_star_variants_set_star(self):
+        model = build_variant("ELDA-Net-Fbi*", C, np.random.default_rng(0),
+                              embedding_size=6, hidden_size=8, compression=2)
+        assert model.embedding.star
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            build_variant("ELDA-Net-Quantum", C, np.random.default_rng(0))
+
+    def test_full_model_has_more_parameters_than_parts(self):
+        rng = np.random.default_rng
+        full = build_variant("ELDA-Net", C, rng(0), embedding_size=6,
+                             hidden_size=8, compression=2)
+        t_only = build_variant("ELDA-Net-T", C, rng(0), hidden_size=8)
+        assert full.num_parameters() > t_only.num_parameters()
+
+
+class TestPaperConfiguration:
+    def test_default_hyperparameters_match_paper(self):
+        """e=24, l=64, d=4, bounds (-3, 3)."""
+        model = ELDANet(37, np.random.default_rng(0))
+        assert model.embedding.embedding_size == 24
+        assert model.embedding.lower == -3.0
+        assert model.embedding.upper == 3.0
+        assert model.feature_module.compression == 4
+        assert model.time_module.hidden_size == 64
+
+    def test_parameter_count_near_paper(self):
+        """Paper Table III: ELDA-Net has ~53k parameters."""
+        model = ELDANet(37, np.random.default_rng(0))
+        assert 35_000 < model.num_parameters() < 75_000

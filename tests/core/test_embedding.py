@@ -1,0 +1,128 @@
+"""Tests of the Bi-directional Embedding Module and its FM counterpart."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.embedding import (BiDirectionalEmbedding, FMEmbedding,
+                                  build_embedding)
+
+C, E = 5, 4
+
+
+@pytest.fixture
+def local_rng():
+    return np.random.default_rng(11)
+
+
+class TestBiDirectional:
+    def test_eq2_by_hand(self, local_rng):
+        """Direct check of paper Eq. 2 against the module output."""
+        module = BiDirectionalEmbedding(C, E, local_rng, lower=-3.0, upper=3.0)
+        x = local_rng.normal(size=(2, 3, C))
+        out = module(nn.Tensor(x)).data
+        va, vb = module.table_lower.data, module.table_upper.data
+        expected = (va[None, None] * (x[..., None] - (-3.0))
+                    + vb[None, None] * (3.0 - x[..., None])) / 6.0
+        assert np.allclose(out, expected)
+
+    def test_lower_anchor_selects_upper_table(self, local_rng):
+        """At x = a the embedding is exactly V^b (and vice versa)."""
+        module = BiDirectionalEmbedding(C, E, local_rng)
+        at_lower = module(nn.Tensor(np.full((1, 1, C), -3.0))).data[0, 0]
+        at_upper = module(nn.Tensor(np.full((1, 1, C), 3.0))).data[0, 0]
+        assert np.allclose(at_lower, module.table_upper.data)
+        assert np.allclose(at_upper, module.table_lower.data)
+
+    def test_zero_maps_to_nonzero_vector(self, local_rng):
+        """The paper's key fix: standardized zero is informative."""
+        module = BiDirectionalEmbedding(C, E, local_rng)
+        at_zero = module(nn.Tensor(np.zeros((1, 1, C)))).data
+        assert np.abs(at_zero).max() > 1e-3
+
+    def test_continuity_in_value(self, local_rng):
+        """Close values embed to close vectors (paper's consecutiveness)."""
+        module = BiDirectionalEmbedding(C, E, local_rng)
+        a = module(nn.Tensor(np.full((1, 1, C), 0.5))).data
+        b = module(nn.Tensor(np.full((1, 1, C), 0.5001))).data
+        assert np.abs(a - b).max() < 1e-3
+
+    def test_scale_bounded_inside_range(self, local_rng):
+        """Embedding norm is bounded by the anchor tables, not the value."""
+        module = BiDirectionalEmbedding(C, E, local_rng)
+        norms = []
+        for value in np.linspace(-3, 3, 13):
+            e = module(nn.Tensor(np.full((1, 1, C), value))).data
+            norms.append(np.linalg.norm(e))
+        bound = (np.linalg.norm(module.table_lower.data)
+                 + np.linalg.norm(module.table_upper.data))
+        assert max(norms) <= bound + 1e-9
+
+    def test_invalid_bounds_raise(self, local_rng):
+        with pytest.raises(ValueError):
+            BiDirectionalEmbedding(C, E, local_rng, lower=3.0, upper=-3.0)
+
+    def test_missing_routing(self, local_rng):
+        module = BiDirectionalEmbedding(C, E, local_rng)
+        x = np.zeros((2, 3, C))
+        ever = np.ones((2, C), dtype=bool)
+        ever[0, 2] = False
+        out = module(nn.Tensor(x), ever_observed=ever).data
+        assert np.allclose(out[0, :, 2], module.missing_table.data[2])
+        assert not np.allclose(out[1, :, 2], module.missing_table.data[2])
+
+    def test_star_variant_ones_at_zero(self, local_rng):
+        module = BiDirectionalEmbedding(C, E, local_rng, star=True)
+        x = np.zeros((1, 1, C))
+        x[0, 0, 1] = 0.7
+        out = module(nn.Tensor(x)).data
+        assert np.allclose(out[0, 0, 0], 1.0)       # zero -> all ones
+        assert not np.allclose(out[0, 0, 1], 1.0)   # nonzero -> learned
+
+    def test_gradients_flow_to_both_tables(self, local_rng):
+        module = BiDirectionalEmbedding(C, E, local_rng)
+        out = module(nn.Tensor(np.full((1, 1, C), 0.5)))
+        (out * out).sum().backward()
+        assert module.table_lower.grad is not None
+        assert module.table_upper.grad is not None
+
+
+class TestFM:
+    def test_linear_in_value(self, local_rng):
+        module = FMEmbedding(C, E, local_rng)
+        one = module(nn.Tensor(np.ones((1, 1, C)))).data
+        two = module(nn.Tensor(np.full((1, 1, C), 2.0))).data
+        assert np.allclose(two, 2 * one)
+
+    def test_zero_maps_to_zero_vector(self, local_rng):
+        """The FM limitation the paper calls out."""
+        module = FMEmbedding(C, E, local_rng)
+        assert np.allclose(module(nn.Tensor(np.zeros((1, 1, C)))).data, 0.0)
+
+    def test_opposite_values_opposite_vectors(self, local_rng):
+        module = FMEmbedding(C, E, local_rng)
+        pos = module(nn.Tensor(np.full((1, 1, C), 1.5))).data
+        neg = module(nn.Tensor(np.full((1, 1, C), -1.5))).data
+        assert np.allclose(pos, -neg)
+
+    def test_star_variant_rescues_zero(self, local_rng):
+        module = FMEmbedding(C, E, local_rng, star=True)
+        out = module(nn.Tensor(np.zeros((1, 1, C)))).data
+        assert np.allclose(out, 1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls,star", [
+        ("bi", BiDirectionalEmbedding, False),
+        ("bi*", BiDirectionalEmbedding, True),
+        ("fm", FMEmbedding, False),
+        ("fm*", FMEmbedding, True),
+    ])
+    def test_builds_each_kind(self, local_rng, kind, cls, star):
+        module = build_embedding(kind, C, E, local_rng)
+        assert isinstance(module, cls)
+        assert module.star == star
+
+    def test_unknown_kind_raises(self, local_rng):
+        with pytest.raises(ValueError):
+            build_embedding("hologram", C, E, local_rng)

@@ -1,0 +1,62 @@
+"""Property-based tests of the embedding modules (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core.embedding import BiDirectionalEmbedding, FMEmbedding
+
+C, E = 4, 3
+
+
+def _embed(module, value):
+    x = np.full((1, 1, C), value)
+    return module(nn.Tensor(x)).data[0, 0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(-3.0, 3.0), st.floats(-3.0, 3.0), st.integers(0, 1000))
+def test_bidirectional_is_affine_in_value(v1, v2, seed):
+    """Eq. 2 is affine: e((v1+v2)/2) = (e(v1)+e(v2))/2 exactly."""
+    module = BiDirectionalEmbedding(C, E, np.random.default_rng(seed))
+    mid = _embed(module, (v1 + v2) / 2.0)
+    avg = (_embed(module, v1) + _embed(module, v2)) / 2.0
+    assert np.allclose(mid, avg, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(-3.0, 3.0), st.integers(0, 1000))
+def test_bidirectional_interpolates_anchor_tables(value, seed):
+    """Inside [a, b] the embedding is a convex combination of V^a-row and
+    V^b-row images, hence bounded by the anchor embeddings."""
+    module = BiDirectionalEmbedding(C, E, np.random.default_rng(seed))
+    e = _embed(module, value)
+    at_lower = _embed(module, module.lower)
+    at_upper = _embed(module, module.upper)
+    low = np.minimum(at_lower, at_upper) - 1e-12
+    high = np.maximum(at_lower, at_upper) + 1e-12
+    assert np.all(e >= low) and np.all(e <= high)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(-5.0, 5.0), st.floats(0.1, 5.0), st.integers(0, 1000))
+def test_fm_embedding_homogeneous(value, scale, seed):
+    """FM embedding is linear: e(s*v) = s * e(v) — the scale-coupling
+    limitation the paper's Section IV-B criticizes."""
+    module = FMEmbedding(C, E, np.random.default_rng(seed))
+    assert np.allclose(_embed(module, scale * value),
+                       scale * _embed(module, value), atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1000))
+def test_missing_routing_overrides_any_value(seed):
+    """Whatever the recorded value, a never-observed feature embeds to V^m."""
+    rng = np.random.default_rng(seed)
+    module = BiDirectionalEmbedding(C, E, np.random.default_rng(seed))
+    x = rng.normal(size=(1, 2, C))
+    ever = np.ones((1, C), dtype=bool)
+    ever[0, 0] = False
+    out = module(nn.Tensor(x), ever_observed=ever).data
+    assert np.allclose(out[0, :, 0], module.missing_table.data[0])

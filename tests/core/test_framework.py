@@ -1,0 +1,80 @@
+"""Tests of the ELDA framework wrapper (train / predict / alert / persist)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ELDA, RiskAlert
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_splits_module):
+    framework = ELDA(task="mortality", seed=0,
+                     model_kwargs=dict(embedding_size=6, hidden_size=8,
+                                       compression=2),
+                     trainer_kwargs=dict(max_epochs=2, patience=2,
+                                         batch_size=16))
+    framework.fit(tiny_splits_module.train, tiny_splits_module.validation)
+    return framework
+
+
+@pytest.fixture(scope="module")
+def tiny_splits_module():
+    from repro.data import SyntheticEMRGenerator, train_val_test_split
+    admissions = SyntheticEMRGenerator().sample_many(
+        60, np.random.default_rng(0))
+    return train_val_test_split(admissions, np.random.default_rng(1))
+
+
+class TestLifecycle:
+    def test_fit_records_history(self, fitted):
+        assert fitted.history is not None
+        assert fitted.history.num_epochs >= 1
+
+    def test_predict_risk_probabilities(self, fitted, tiny_splits_module):
+        risks = fitted.predict_risk(tiny_splits_module.test)
+        assert risks.shape == (len(tiny_splits_module.test),)
+        assert np.all((risks >= 0) & (risks <= 1))
+
+    def test_evaluate_returns_paper_metrics(self, fitted, tiny_splits_module):
+        metrics = fitted.evaluate(tiny_splits_module.test)
+        assert set(metrics) == {"bce", "auc_roc", "auc_pr"}
+
+    def test_alerts_respect_threshold(self, fitted, tiny_splits_module):
+        risks = fitted.predict_risk(tiny_splits_module.test)
+        threshold = float(np.median(risks))
+        alerts = fitted.alerts(tiny_splits_module.test, threshold=threshold)
+        assert all(isinstance(a, RiskAlert) for a in alerts)
+        assert all(a.risk >= threshold for a in alerts)
+        assert len(alerts) == int((risks >= threshold).sum())
+
+    def test_alert_str_mentions_admission(self):
+        alert = RiskAlert(admission_index=7, risk=0.9, threshold=0.5)
+        assert "7" in str(alert) and "0.90" in str(alert)
+
+    def test_save_load_round_trip(self, fitted, tiny_splits_module, tmp_path):
+        path = tmp_path / "elda.npz"
+        fitted.save(path)
+        clone = ELDA(task="mortality", seed=99,
+                     model_kwargs=dict(embedding_size=6, hidden_size=8,
+                                       compression=2))
+        clone.load(path)
+        original = fitted.predict_risk(tiny_splits_module.test)
+        restored = clone.predict_risk(tiny_splits_module.test)
+        assert np.allclose(original, restored)
+
+    def test_variant_selection(self):
+        framework = ELDA(variant="ELDA-Net-T",
+                         model_kwargs=dict(hidden_size=8))
+        assert not framework.model.use_feature_module
+
+    def test_interpretation_apis_exist(self, fitted, tiny_splits_module):
+        curves = fitted.time_interpretation(tiny_splits_module.test)
+        assert set(curves) == {"survivor", "non_survivor"}
+        values = tiny_splits_module.test.values[0]
+        ever = tiny_splits_module.test.ever_observed[0]
+        grid, names = fitted.feature_interpretation(
+            values, ever, hour=5, features=("Glucose", "Lactate", "pH"))
+        assert grid.shape == (3, 3)
+        traces = fitted.interaction_traces(values, ever, "Glucose",
+                                           ("Lactate", "pH"))
+        assert set(traces) == {"Lactate", "pH"}

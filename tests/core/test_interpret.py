@@ -1,0 +1,106 @@
+"""Tests of the interpretability extraction utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import (build_variant, cohort_time_attention,
+                        extract_attention, feature_attention_at,
+                        interaction_trace, modify_feature_to_normal)
+from repro.data.schema import NUM_FEATURES, feature_index
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_variant("ELDA-Net", NUM_FEATURES, np.random.default_rng(0),
+                         embedding_size=4, hidden_size=6, compression=2)
+
+
+class TestExtract:
+    def test_shapes(self, model, tiny_dataset):
+        sub = tiny_dataset.subset(np.arange(6))
+        extract = extract_attention(model, sub, batch_size=4)
+        steps = sub.num_time_steps
+        assert extract.time.shape == (6, steps - 1)
+        assert extract.feature.shape == (6, steps, NUM_FEATURES, NUM_FEATURES)
+
+    def test_skip_feature_grid(self, model, tiny_dataset):
+        sub = tiny_dataset.subset(np.arange(4))
+        extract = extract_attention(model, sub, with_feature=False)
+        assert extract.feature is None
+        assert extract.time is not None
+
+    def test_time_rows_are_distributions(self, model, tiny_dataset):
+        sub = tiny_dataset.subset(np.arange(4))
+        extract = extract_attention(model, sub)
+        assert np.allclose(extract.time.sum(axis=1), 1.0)
+
+    def test_time_only_variant_raises_in_cohort_curves(self, tiny_dataset):
+        fbi = build_variant("ELDA-Net-Fbi", NUM_FEATURES,
+                            np.random.default_rng(0), embedding_size=4,
+                            hidden_size=6, compression=2)
+        with pytest.raises(ValueError):
+            cohort_time_attention(fbi, tiny_dataset.subset(np.arange(4)))
+
+
+class TestCohortAggregation:
+    def test_groups_and_shapes(self, model, tiny_dataset):
+        sub = tiny_dataset.subset(np.arange(12))
+        curves = cohort_time_attention(model, sub)
+        steps = sub.num_time_steps
+        for group in ("survivor", "non_survivor"):
+            assert curves[group]["mean"].shape == (steps - 1,)
+        total = (len(curves["survivor"]["per_patient"])
+                 + len(curves["non_survivor"]["per_patient"]))
+        assert total == 12
+
+    def test_group_split_matches_labels(self, model, tiny_dataset):
+        sub = tiny_dataset.subset(np.arange(12))
+        curves = cohort_time_attention(model, sub)
+        assert len(curves["non_survivor"]["per_patient"]) == int(
+            sub.mortality.sum())
+
+
+class TestPerPatient:
+    def test_feature_grid_row_normalized(self, model, tiny_dataset):
+        values = tiny_dataset.values[0]
+        ever = tiny_dataset.ever_observed[0]
+        grid, names = feature_attention_at(
+            model, values, ever, hour=10,
+            features=("Glucose", "Lactate", "pH", "HCT"))
+        assert grid.shape == (4, 4)
+        assert np.allclose(grid.sum(axis=1), 1.0)
+        assert np.all(np.diag(grid) == 0.0)
+
+    def test_full_grid_when_no_subset(self, model, tiny_dataset):
+        grid, names = feature_attention_at(
+            model, tiny_dataset.values[0], tiny_dataset.ever_observed[0],
+            hour=0)
+        assert grid.shape == (NUM_FEATURES, NUM_FEATURES)
+        assert len(names) == NUM_FEATURES
+
+    def test_trace_lengths(self, model, tiny_dataset):
+        traces = interaction_trace(model, tiny_dataset.values[0],
+                                   tiny_dataset.ever_observed[0],
+                                   "Glucose", ("Lactate", "WBC"))
+        steps = tiny_dataset.num_time_steps
+        assert set(traces) == {"Lactate", "WBC"}
+        assert all(t.shape == (steps,) for t in traces.values())
+
+
+class TestModification:
+    def test_sets_feature_to_zero(self, tiny_dataset):
+        modified = modify_feature_to_normal(tiny_dataset.values[0], "Lactate")
+        assert np.all(modified[:, feature_index("Lactate")] == 0.0)
+
+    def test_other_features_untouched(self, tiny_dataset):
+        original = tiny_dataset.values[0]
+        modified = modify_feature_to_normal(original, "Lactate")
+        col = feature_index("Lactate")
+        untouched = np.delete(modified, col, axis=1)
+        expected = np.delete(original, col, axis=1)
+        assert np.array_equal(untouched, expected)
+
+    def test_does_not_mutate_input(self, tiny_dataset):
+        original = tiny_dataset.values[0].copy()
+        modify_feature_to_normal(tiny_dataset.values[0], "pH")
+        assert np.array_equal(tiny_dataset.values[0], original)

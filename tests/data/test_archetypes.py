@@ -1,0 +1,86 @@
+"""Tests of the disease archetype library."""
+
+import numpy as np
+import pytest
+
+from repro.data import ARCHETYPES, NUM_FEATURES, archetype_by_name, feature_index
+
+
+class TestLibrary:
+    def test_names_unique(self):
+        names = [a.name for a in ARCHETYPES]
+        assert len(set(names)) == len(names)
+
+    def test_paper_dm_archetypes_present(self):
+        for name in ("dm_only", "dm_dka", "dm_dla"):
+            assert archetype_by_name(name) is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            archetype_by_name("space_flu")
+
+    def test_prevalences_positive(self):
+        assert all(a.prevalence > 0 for a in ARCHETYPES)
+
+    def test_deviation_features_exist(self):
+        for archetype in ARCHETYPES:
+            for name in archetype.deviations:
+                feature_index(name)  # raises on a bad name
+
+
+class TestClinicalStructure:
+    """The archetypes must encode the paper's Section I narrative."""
+
+    def test_dm_only_is_isolated_hyperglycemia(self):
+        dm = archetype_by_name("dm_only")
+        assert dm.deviations["Glucose"] > 0
+        assert len(dm.deviations) == 1
+
+    def test_dka_signature(self):
+        dka = archetype_by_name("dm_dka").deviations
+        assert dka["Glucose"] > 0 and dka["pH"] < 0 and dka["HCO3"] < 0
+
+    def test_dla_signature(self):
+        dla = archetype_by_name("dm_dla").deviations
+        assert dla["Glucose"] > 0
+        assert dla["Lactate"] > 0
+        assert dla["pH"] < 0
+        assert dla["Temp"] < 0 and dla["MAP"] < 0  # the paper's DLA symptoms
+
+    def test_same_glucose_different_context(self):
+        """The same abnormal Glucose must co-occur with different partners
+        across DM variants — the core interaction-learning premise."""
+        dka = set(archetype_by_name("dm_dka").deviations)
+        dla = set(archetype_by_name("dm_dla").deviations)
+        assert "Glucose" in dka & dla
+        assert dka != dla
+
+    def test_sepsis_shares_lactate_without_glucose(self):
+        """Lactate alone must not identify DLA (sepsis also raises it)."""
+        sepsis = archetype_by_name("sepsis").deviations
+        assert sepsis["Lactate"] > 0
+        assert "Glucose" not in sepsis
+
+    def test_complications_riskier_than_dm_only(self):
+        dm = archetype_by_name("dm_only")
+        for name in ("dm_dka", "dm_dla"):
+            assert (archetype_by_name(name).base_mortality_logit
+                    > dm.base_mortality_logit)
+
+    def test_stable_is_lowest_risk(self):
+        stable = archetype_by_name("stable")
+        assert all(stable.base_mortality_logit <= a.base_mortality_logit
+                   for a in ARCHETYPES)
+
+
+class TestDeviationVector:
+    def test_dense_vector_shape(self):
+        vec = archetype_by_name("dm_dla").deviation_vector(NUM_FEATURES)
+        assert vec.shape == (NUM_FEATURES,)
+
+    def test_vector_matches_mapping(self):
+        archetype = archetype_by_name("sepsis")
+        vec = archetype.deviation_vector(NUM_FEATURES)
+        for name, shift in archetype.deviations.items():
+            assert vec[feature_index(name)] == shift
+        assert np.count_nonzero(vec) == len(archetype.deviations)

@@ -1,0 +1,105 @@
+"""Tests of dataset containers, splits, and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (NUM_FEATURES, NUM_TIME_STEPS, build_dataset,
+                        iterate_batches, train_val_test_split)
+
+
+class TestBuildDataset:
+    def test_shapes(self, tiny_dataset):
+        n = len(tiny_dataset)
+        assert tiny_dataset.values.shape == (n, NUM_TIME_STEPS, NUM_FEATURES)
+        assert tiny_dataset.mask.shape == tiny_dataset.values.shape
+        assert tiny_dataset.deltas.shape == tiny_dataset.values.shape
+        assert tiny_dataset.ever_observed.shape == (n, NUM_FEATURES)
+
+    def test_values_fully_imputed(self, tiny_dataset):
+        assert not np.isnan(tiny_dataset.values).any()
+
+    def test_ever_observed_matches_mask(self, tiny_dataset):
+        assert np.array_equal(tiny_dataset.ever_observed,
+                              tiny_dataset.mask.any(axis=1))
+
+    def test_labels_accessor(self, tiny_dataset):
+        assert np.array_equal(tiny_dataset.labels("mortality"),
+                              tiny_dataset.mortality)
+        assert np.array_equal(tiny_dataset.labels("los"),
+                              tiny_dataset.long_stay)
+
+    def test_unknown_task_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.labels("readmission")
+
+    def test_subset_preserves_alignment(self, tiny_dataset):
+        idx = [3, 1, 7]
+        sub = tiny_dataset.subset(idx)
+        assert len(sub) == 3
+        assert np.array_equal(sub.values, tiny_dataset.values[idx])
+        assert np.array_equal(sub.mortality, tiny_dataset.mortality[idx])
+        assert sub.archetypes == [tiny_dataset.archetypes[i] for i in idx]
+
+    def test_statistics_keys(self, tiny_dataset):
+        stats = tiny_dataset.statistics()
+        assert stats["admissions"] == len(tiny_dataset)
+        assert stats["num_features"] == NUM_FEATURES
+        assert 0.0 < stats["missing_rate"] < 1.0
+        assert (stats["survivor"] + stats["non_survivor"]
+                == stats["admissions"])
+
+
+class TestSplits:
+    def test_fractions(self, tiny_splits):
+        total = (len(tiny_splits.train) + len(tiny_splits.validation)
+                 + len(tiny_splits.test))
+        assert total == 80
+        assert len(tiny_splits.train) == 64
+
+    def test_standardizer_fit_on_train_only(self, tiny_admissions):
+        """Val/test must be standardized with train statistics (no leakage)."""
+        splits = train_val_test_split(tiny_admissions,
+                                      np.random.default_rng(5))
+        rebuilt, _ = build_dataset(
+            [tiny_admissions[i] for i in range(len(tiny_admissions))][:10],
+            standardizer=splits.standardizer)
+        # The same standardizer reproduces identical transforms.
+        assert splits.standardizer.mean is not None
+
+    def test_no_sample_overlap(self, tiny_admissions):
+        rng = np.random.default_rng(9)
+        splits = train_val_test_split(tiny_admissions, rng)
+        # Mortality labels of a split concatenation must be a permutation
+        # of the original labels.
+        combined = np.concatenate([splits.train.mortality,
+                                   splits.validation.mortality,
+                                   splits.test.mortality])
+        original = np.array([a.mortality for a in tiny_admissions])
+        assert sorted(combined.tolist()) == sorted(original.tolist())
+
+    def test_bad_fractions_raise(self, tiny_admissions):
+        with pytest.raises(ValueError):
+            train_val_test_split(tiny_admissions, np.random.default_rng(0),
+                                 fractions=(0.5, 0.2, 0.2))
+
+
+class TestBatching:
+    def test_covers_every_sample_once(self, tiny_dataset):
+        seen = 0
+        for batch, labels in iterate_batches(tiny_dataset, "mortality", 16):
+            assert len(batch) == len(labels)
+            seen += len(batch)
+        assert seen == len(tiny_dataset)
+
+    def test_shuffled_when_rng_given(self, tiny_dataset):
+        first_pass = [labels for _, labels in
+                      iterate_batches(tiny_dataset, "mortality", 16,
+                                      np.random.default_rng(0))]
+        ordered = [labels for _, labels in
+                   iterate_batches(tiny_dataset, "mortality", 16)]
+        assert not all(np.array_equal(a, b)
+                       for a, b in zip(first_pass, ordered))
+
+    def test_labels_match_batch(self, tiny_dataset):
+        for batch, labels in iterate_batches(tiny_dataset, "los", 8):
+            assert np.array_equal(batch.long_stay, labels)

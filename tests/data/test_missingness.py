@@ -1,0 +1,102 @@
+"""Tests of the observation (missingness) model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import NUM_FEATURES, ObservationModel
+from repro.data.schema import FEATURES
+
+
+def _relevant(names=()):
+    from repro.data.schema import feature_index
+    rel = np.zeros(NUM_FEATURES, dtype=bool)
+    for name in names:
+        rel[feature_index(name)] = True
+    return rel
+
+
+class TestMask:
+    def test_shape_and_dtype(self):
+        model = ObservationModel()
+        mask = model.sample_mask(np.random.default_rng(0), np.ones(48),
+                                 _relevant())
+        assert mask.shape == (48, NUM_FEATURES)
+        assert mask.dtype == bool
+
+    def test_overall_missing_rate_near_paper(self):
+        """~80% of cells missing, as in Table I."""
+        model = ObservationModel()
+        rng = np.random.default_rng(1)
+        rates = []
+        for _ in range(30):
+            severity = np.abs(rng.normal(0.8, 0.3, 48))
+            mask = model.sample_mask(rng, severity, _relevant(("Glucose",)))
+            rates.append(1.0 - mask.mean())
+        assert 0.70 < np.mean(rates) < 0.90
+
+    def test_informative_sampling(self):
+        """Higher severity hours are sampled more densely."""
+        model = ObservationModel(severity_gain=0.8)
+        rng = np.random.default_rng(2)
+        low_counts, high_counts = [], []
+        for _ in range(40):
+            severity = np.r_[np.zeros(24), np.full(24, 2.0)]
+            mask = model.sample_mask(rng, severity, _relevant())
+            low_counts.append(mask[:24].sum())
+            high_counts.append(mask[24:].sum())
+        assert np.mean(high_counts) > 1.3 * np.mean(low_counts)
+
+    def test_relevant_features_always_observed(self):
+        model = ObservationModel(rate_scale=0.05)
+        rng = np.random.default_rng(3)
+        relevant = _relevant(("Lactate", "pH", "Glucose"))
+        for _ in range(20):
+            mask = model.sample_mask(rng, np.full(48, 0.1), relevant)
+            assert mask[:, relevant].any(axis=0).all()
+
+    def test_some_irrelevant_labs_never_ordered(self):
+        model = ObservationModel()
+        rng = np.random.default_rng(4)
+        lab_cols = np.array([spec.kind == "lab" for spec in FEATURES])
+        never_count = 0
+        for _ in range(30):
+            mask = model.sample_mask(rng, np.ones(48), _relevant())
+            never_count += int((~mask.any(axis=0))[lab_cols].sum())
+        assert never_count > 0
+
+    def test_vitals_denser_than_labs(self):
+        model = ObservationModel()
+        rng = np.random.default_rng(5)
+        vital_cols = np.array([spec.kind == "vital" for spec in FEATURES])
+        lab_cols = np.array([spec.kind == "lab" for spec in FEATURES])
+        mask = np.mean([model.sample_mask(rng, np.ones(48), _relevant())
+                        for _ in range(20)], axis=0)
+        assert mask[:, vital_cols].mean() > mask[:, lab_cols].mean()
+
+    def test_rate_scale_monotone(self):
+        rng1, rng2 = np.random.default_rng(6), np.random.default_rng(6)
+        sparse = ObservationModel(rate_scale=0.5)
+        dense = ObservationModel(rate_scale=1.5)
+        sparse_mean = np.mean([
+            sparse.sample_mask(rng1, np.ones(48), _relevant()).mean()
+            for _ in range(20)])
+        dense_mean = np.mean([
+            dense.sample_mask(rng2, np.ones(48), _relevant()).mean()
+            for _ in range(20)])
+        assert dense_mean > sparse_mean
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1_000), st.floats(0.0, 3.0))
+def test_mask_always_valid(seed, severity_level):
+    """Property: the mask is well-formed for any severity level."""
+    model = ObservationModel()
+    rng = np.random.default_rng(seed)
+    severity = np.full(48, severity_level)
+    mask = model.sample_mask(rng, severity, _relevant(("Glucose",)))
+    assert mask.shape == (48, NUM_FEATURES)
+    assert mask.dtype == bool
+    # Relevant feature must be observed at least once.
+    from repro.data.schema import feature_index
+    assert mask[:, feature_index("Glucose")].any()

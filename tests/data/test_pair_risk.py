@@ -1,0 +1,58 @@
+"""Tests of the pairwise-interaction risk term in the label process."""
+
+import numpy as np
+
+from repro.data import NUM_FEATURES, archetype_by_name
+from repro.data.schema import feature_index
+from repro.data.synthetic import SyntheticEMRGenerator
+
+
+def _z_with(pairs):
+    z = np.zeros((4, NUM_FEATURES))
+    for name, value in pairs.items():
+        z[:, feature_index(name)] = value
+    return z
+
+
+class TestPairRisk:
+    def test_stable_archetype_has_no_pair_risk(self):
+        stable = archetype_by_name("stable")
+        assert SyntheticEMRGenerator._pair_risk(stable, _z_with({})) == 0.0
+
+    def test_joint_abnormality_raises_risk(self):
+        """DLA: Glucose x Lactate jointly high -> positive risk."""
+        dla = archetype_by_name("dm_dla")
+        joint = _z_with({"Glucose": 3.0, "Lactate": 3.0})
+        assert SyntheticEMRGenerator._pair_risk(dla, joint) > 0.5
+
+    def test_isolated_abnormality_carries_no_pair_risk(self):
+        """The same Glucose without Lactate contributes ~nothing — the
+        paper's 'same value, different meaning' premise."""
+        dla = archetype_by_name("dm_dla")
+        isolated = _z_with({"Glucose": 3.0})
+        joint = _z_with({"Glucose": 3.0, "Lactate": 3.0})
+        assert (SyntheticEMRGenerator._pair_risk(dla, joint)
+                > SyntheticEMRGenerator._pair_risk(dla, isolated) + 0.5)
+
+    def test_signed_pairs(self):
+        """DKA: Glucose high with pH LOW is the risky combination."""
+        dka = archetype_by_name("dm_dka")
+        acidotic = _z_with({"Glucose": 3.0, "pH": -3.0})
+        alkalotic = _z_with({"Glucose": 3.0, "pH": 3.0})
+        assert (SyntheticEMRGenerator._pair_risk(dka, acidotic)
+                > SyntheticEMRGenerator._pair_risk(dka, alkalotic))
+
+    def test_clipped_per_pair(self):
+        dla = archetype_by_name("dm_dla")
+        extreme = _z_with({"Glucose": 50.0, "Lactate": 50.0})
+        capped = SyntheticEMRGenerator._pair_risk(dla, extreme)
+        weights = sum(abs(w) for _, _, w in dla.risk_pairs)
+        assert capped <= 4.0 * weights + 1e-9
+
+    def test_all_risk_pair_features_exist(self):
+        from repro.data import ARCHETYPES
+        for archetype in ARCHETYPES:
+            for a, b, w in archetype.risk_pairs:
+                feature_index(a)
+                feature_index(b)
+                assert w != 0.0

@@ -1,0 +1,157 @@
+"""Tests of cleaning, standardization, imputation, and deltas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (NUM_FEATURES, Standardizer, clean_values, impute,
+                        observation_deltas)
+from repro.data.schema import FEATURES, feature_index
+
+
+class TestCleaning:
+    def test_out_of_range_becomes_nan(self):
+        values = np.full((1, 2, NUM_FEATURES), np.nan)
+        ph = feature_index("pH")
+        values[0, 0, ph] = -1.0    # negative pH: recording error
+        values[0, 1, ph] = 7.4
+        cleaned = clean_values(values)
+        assert np.isnan(cleaned[0, 0, ph])
+        assert cleaned[0, 1, ph] == 7.4
+
+    def test_preserves_valid_values(self):
+        values = np.full((1, 1, NUM_FEATURES),
+                         [spec.mean for spec in FEATURES])
+        cleaned = clean_values(values)
+        assert np.array_equal(cleaned, values)
+
+    def test_does_not_mutate_input(self):
+        values = np.full((1, 1, NUM_FEATURES), -9999.0)
+        clean_values(values)
+        assert np.all(values == -9999.0)
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_std_on_fit_data(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 2.0, size=(50, 48, NUM_FEATURES))
+        std = Standardizer().fit(values)
+        out = std.transform(values)
+        flat = out.reshape(-1, NUM_FEATURES)
+        assert np.allclose(flat.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(flat.std(axis=0), 1.0, atol=1e-10)
+
+    def test_ignores_nans_when_fitting(self):
+        values = np.full((2, 3, NUM_FEATURES), np.nan)
+        values[0, 0, :] = 10.0
+        values[1, 1, :] = 20.0
+        std = Standardizer().fit(values)
+        assert np.allclose(std.mean, 15.0)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(3.0, 4.0, size=(10, 5, NUM_FEATURES))
+        std = Standardizer().fit(values)
+        assert np.allclose(std.inverse_transform(std.transform(values)),
+                           values)
+
+    def test_constant_feature_guard(self):
+        values = np.ones((5, 4, NUM_FEATURES))
+        std = Standardizer().fit(values)
+        out = std.transform(values)
+        assert np.all(np.isfinite(out))
+
+    def test_never_observed_feature_falls_back_to_schema(self):
+        values = np.full((5, 4, NUM_FEATURES), np.nan)
+        values[..., 0] = 3.0
+        std = Standardizer().fit(values)
+        assert np.all(np.isfinite(std.mean))
+        assert np.all(std.std > 0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.zeros((1, 1, NUM_FEATURES)))
+
+
+class TestImpute:
+    def test_global_mean_before_first_observation(self):
+        values = np.zeros((1, 4, 2))
+        mask = np.zeros((1, 4, 2), dtype=bool)
+        values[0, 2, 0] = 5.0
+        mask[0, 2, 0] = True
+        out = impute(values, mask)
+        # Hours 0-1: not yet observed -> standardized global mean (0).
+        assert out[0, 0, 0] == 0.0 and out[0, 1, 0] == 0.0
+
+    def test_locf_after_first_observation(self):
+        values = np.zeros((1, 4, 1))
+        mask = np.zeros((1, 4, 1), dtype=bool)
+        values[0, 1, 0] = 7.0
+        mask[0, 1, 0] = True
+        out = impute(values, mask)
+        assert out[0, 2, 0] == 7.0 and out[0, 3, 0] == 7.0
+
+    def test_new_observation_replaces_carry(self):
+        values = np.zeros((1, 4, 1))
+        mask = np.zeros((1, 4, 1), dtype=bool)
+        values[0, 0, 0], mask[0, 0, 0] = 3.0, True
+        values[0, 2, 0], mask[0, 2, 0] = 9.0, True
+        out = impute(values, mask)
+        assert out[0, 1, 0] == 3.0
+        assert out[0, 3, 0] == 9.0
+
+    def test_no_nans_in_output(self):
+        rng = np.random.default_rng(2)
+        mask = rng.random((4, 48, NUM_FEATURES)) < 0.2
+        values = np.where(mask, rng.normal(size=mask.shape), np.nan)
+        out = impute(values, mask)
+        assert not np.isnan(out).any()
+
+    def test_observed_values_untouched(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random((2, 10, 3)) < 0.5
+        raw = rng.normal(size=(2, 10, 3))
+        values = np.where(mask, raw, np.nan)
+        out = impute(values, mask)
+        assert np.allclose(out[mask], raw[mask])
+
+
+class TestDeltas:
+    def test_zero_at_first_step(self):
+        mask = np.ones((1, 5, 2), dtype=bool)
+        assert np.all(observation_deltas(mask)[:, 0, :] == 0.0)
+
+    def test_counts_hours_since_observation(self):
+        mask = np.zeros((1, 5, 1), dtype=bool)
+        mask[0, 1, 0] = True
+        delta = observation_deltas(mask)[0, :, 0]
+        # GRU-D: delta_t = 1 if observed at t-1, else delta_{t-1} + 1.
+        assert delta.tolist() == [0.0, 1.0, 1.0, 2.0, 3.0]
+
+    def test_fully_observed_gives_ones(self):
+        mask = np.ones((1, 5, 1), dtype=bool)
+        delta = observation_deltas(mask)[0, :, 0]
+        assert delta.tolist() == [0.0, 1.0, 1.0, 1.0, 1.0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_impute_idempotent_property(seed):
+    """Property: imputing an already-complete matrix is the identity."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(2, 6, 4))
+    mask = np.ones_like(values, dtype=bool)
+    assert np.allclose(impute(values, mask), values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_deltas_bounded_by_time(seed):
+    """Property: delta never exceeds the elapsed hours."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((3, 12, 5)) < 0.3
+    delta = observation_deltas(mask)
+    bounds = np.arange(12).reshape(1, 12, 1)
+    assert np.all(delta <= bounds)
+    assert np.all(delta >= 0)

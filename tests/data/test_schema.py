@@ -1,0 +1,40 @@
+"""Tests of the clinical feature schema."""
+
+import pytest
+
+from repro.data import (FEATURE_NAMES, FEATURES, NUM_FEATURES,
+                        NUM_TIME_STEPS, feature_index)
+
+
+class TestSchema:
+    def test_thirty_seven_features(self):
+        assert NUM_FEATURES == 37
+        assert len(FEATURE_NAMES) == 37
+
+    def test_forty_eight_hours(self):
+        assert NUM_TIME_STEPS == 48
+
+    def test_names_unique(self):
+        assert len(set(FEATURE_NAMES)) == NUM_FEATURES
+
+    def test_paper_case_study_features_present(self):
+        for name in ("Glucose", "Lactate", "pH", "HCO3", "HCT", "HR",
+                     "MAP", "Temp", "FiO2", "WBC", "Albumin"):
+            assert name in FEATURE_NAMES
+
+    def test_bounds_sane(self):
+        for spec in FEATURES:
+            assert spec.low < spec.high
+            assert spec.low <= spec.mean <= spec.high
+            assert spec.std > 0
+
+    def test_kinds_valid(self):
+        assert {spec.kind for spec in FEATURES} <= {"vital", "lab", "other"}
+
+    def test_feature_index_round_trip(self):
+        for i, name in enumerate(FEATURE_NAMES):
+            assert feature_index(name) == i
+
+    def test_feature_index_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown feature"):
+            feature_index("Midichlorians")

@@ -1,0 +1,47 @@
+"""Tests of dataset save/load round trips."""
+
+import numpy as np
+
+from repro.data import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_arrays_identical(self, tiny_dataset, tmp_path):
+        path = tmp_path / "cohort.npz"
+        save_dataset(tiny_dataset, path)
+        restored = load_dataset(path)
+        assert np.array_equal(restored.values, tiny_dataset.values)
+        assert np.array_equal(restored.mask, tiny_dataset.mask)
+        assert np.array_equal(restored.deltas, tiny_dataset.deltas)
+        assert np.array_equal(restored.ever_observed,
+                              tiny_dataset.ever_observed)
+        assert np.array_equal(restored.mortality, tiny_dataset.mortality)
+        assert np.array_equal(restored.long_stay, tiny_dataset.long_stay)
+
+    def test_metadata_preserved(self, tiny_dataset, tmp_path):
+        path = tmp_path / "cohort.npz"
+        save_dataset(tiny_dataset, path)
+        restored = load_dataset(path)
+        assert restored.archetypes == tiny_dataset.archetypes
+        assert restored.onset_hours == tiny_dataset.onset_hours
+        assert tuple(restored.feature_names) == tuple(
+            tiny_dataset.feature_names)
+
+    def test_none_onsets_survive(self, tiny_dataset, tmp_path):
+        assert any(h is None for h in tiny_dataset.onset_hours)
+        path = tmp_path / "cohort.npz"
+        save_dataset(tiny_dataset, path)
+        restored = load_dataset(path)
+        nones = [i for i, h in enumerate(tiny_dataset.onset_hours)
+                 if h is None]
+        assert all(restored.onset_hours[i] is None for i in nones)
+
+    def test_restored_dataset_is_usable(self, tiny_dataset, tmp_path):
+        path = tmp_path / "cohort.npz"
+        save_dataset(tiny_dataset, path)
+        restored = load_dataset(path)
+        stats = restored.statistics()
+        assert stats == tiny_dataset.statistics()
+        sub = restored.subset([0, 1])
+        assert len(sub) == 2
+        assert restored.labels("phenotype").shape == (len(restored),)

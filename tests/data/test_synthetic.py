@@ -1,0 +1,131 @@
+"""Tests of the admission generator and the Patient A case study."""
+
+import numpy as np
+import pytest
+
+from repro.data import (NUM_FEATURES, NUM_TIME_STEPS, SyntheticEMRGenerator,
+                        archetype_by_name, feature_index, make_patient_a)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    generator = SyntheticEMRGenerator()
+    return generator.sample_many(300, np.random.default_rng(0))
+
+
+class TestAdmissionShape:
+    def test_values_shape(self, pool):
+        assert all(a.values.shape == (NUM_TIME_STEPS, NUM_FEATURES)
+                   for a in pool)
+
+    def test_mask_consistent_with_nans(self, pool):
+        for adm in pool[:20]:
+            assert np.array_equal(~np.isnan(adm.values), adm.mask)
+
+    def test_labels_binary(self, pool):
+        assert {a.mortality for a in pool} <= {0, 1}
+        assert {a.long_stay for a in pool} <= {0, 1}
+
+    def test_archetypes_from_library(self, pool):
+        from repro.data import ARCHETYPES
+        names = {a.name for a in ARCHETYPES}
+        assert {a.archetype for a in pool} <= names
+
+    def test_observed_values_within_physical_bounds(self, pool):
+        from repro.data.schema import FEATURES
+        lows = np.array([s.low for s in FEATURES])
+        highs = np.array([s.high for s in FEATURES])
+        for adm in pool[:20]:
+            observed = adm.values[adm.mask.any(axis=1)]
+            with np.errstate(invalid="ignore"):
+                ok = (np.isnan(observed) | ((observed >= lows)
+                                            & (observed <= highs)))
+            assert ok.all()
+
+    def test_mechvent_is_binary_flag(self, pool):
+        col = feature_index("MechVent")
+        for adm in pool[:20]:
+            observed = adm.values[:, col][adm.mask[:, col]]
+            assert np.isin(observed, (0.0, 1.0)).all()
+
+
+class TestLabelCausality:
+    """Labels must track the latent process the way the paper's tasks do."""
+
+    def test_mortality_rate_near_paper(self, pool):
+        rate = np.mean([a.mortality for a in pool])
+        assert 0.05 < rate < 0.30  # paper: ~14%
+
+    def test_long_stay_majority_class(self, pool):
+        rate = np.mean([a.long_stay for a in pool])
+        assert 0.5 < rate < 0.8  # paper: ~65%
+
+    def test_non_survivors_sicker(self, pool):
+        dead = [a.severity.mean() for a in pool if a.mortality == 1]
+        alive = [a.severity.mean() for a in pool if a.mortality == 0]
+        assert np.mean(dead) > np.mean(alive)
+
+    def test_late_events_overrepresented_in_deaths(self, pool):
+        dead_events = np.mean([a.onset_hour is not None
+                               for a in pool if a.mortality == 1])
+        alive_events = np.mean([a.onset_hour is not None
+                                for a in pool if a.mortality == 0])
+        assert dead_events > alive_events
+
+    def test_archetype_signature_visible_in_values(self):
+        """DLA admissions must show elevated Glucose AND Lactate."""
+        generator = SyntheticEMRGenerator()
+        rng = np.random.default_rng(42)
+        dla_glucose, stable_glucose = [], []
+        pool = generator.sample_many(400, rng)
+        g, l = feature_index("Glucose"), feature_index("Lactate")
+        for adm in pool:
+            glucose = np.nanmean(adm.values[:, g]) if adm.mask[:, g].any() else np.nan
+            if adm.archetype == "dm_dla" and not np.isnan(glucose):
+                dla_glucose.append(glucose)
+            elif adm.archetype == "stable" and not np.isnan(glucose):
+                stable_glucose.append(glucose)
+        assert np.mean(dla_glucose) > np.mean(stable_glucose) + 30.0
+
+    def test_mortality_offset_lowers_rate(self):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        base = SyntheticEMRGenerator(mortality_offset=0.0)
+        shifted = SyntheticEMRGenerator(mortality_offset=-3.0)
+        rate_base = np.mean([a.mortality
+                             for a in base.sample_many(300, rng1)])
+        rate_shift = np.mean([a.mortality
+                              for a in shifted.sample_many(300, rng2)])
+        assert rate_shift < rate_base
+
+
+class TestPatientA:
+    def test_is_dla(self):
+        assert make_patient_a().archetype == "dm_dla"
+
+    def test_deterministic(self):
+        a, b = make_patient_a(), make_patient_a()
+        assert np.array_equal(a.mask, b.mask)
+        assert np.allclose(np.nan_to_num(a.values), np.nan_to_num(b.values))
+
+    def test_glucose_narrative(self):
+        """Glucose calm early, surging after hour 13, controlled by ~40."""
+        adm = make_patient_a()
+        glucose = adm.values[:, feature_index("Glucose")]
+        assert np.nanmean(glucose[:12]) < 160.0
+        assert np.nanmax(glucose[16:30]) > 200.0
+        assert np.nanmean(glucose[42:]) < np.nanmax(glucose[16:30]) - 40.0
+
+    def test_dla_partners_move_during_crisis(self):
+        adm = make_patient_a()
+        ph = adm.values[:, feature_index("pH")]
+        lactate = adm.values[:, feature_index("Lactate")]
+        assert np.nanmean(ph[18:26]) < np.nanmean(ph[:10])
+        assert np.nanmean(lactate[18:26]) > np.nanmean(lactate[:10])
+
+    def test_case_study_features_observed(self):
+        adm = make_patient_a()
+        for name in ("Glucose", "Lactate", "pH", "HCT", "WBC"):
+            assert adm.mask[:, feature_index(name)].all()
+
+    def test_onset_hour_is_13(self):
+        assert make_patient_a().onset_hour == 13

@@ -1,0 +1,104 @@
+"""Tests of severity trajectories and their label-relevant summaries."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import sample_trajectory
+from repro.data.trajectory import (GLOBAL_LOADINGS, SeverityTrajectory,
+                                   global_loading_vector)
+from repro.data.schema import feature_index
+
+
+class TestSampling:
+    def test_length_and_nonnegativity(self):
+        rng = np.random.default_rng(0)
+        traj = sample_trajectory(rng, 48, late_event_prob=0.5)
+        assert traj.severity.shape == (48,)
+        assert np.all(traj.severity >= 0)
+
+    def test_zero_event_probability(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            traj = sample_trajectory(rng, 48, late_event_prob=0.0)
+            assert not traj.had_late_event
+            assert traj.onset_hour is None
+
+    def test_certain_event(self):
+        rng = np.random.default_rng(2)
+        traj = sample_trajectory(rng, 48, late_event_prob=1.0)
+        assert traj.had_late_event
+        assert 0 <= traj.onset_hour < 48
+
+    def test_event_raises_severity_at_onset(self):
+        rng = np.random.default_rng(3)
+        jumps = []
+        for _ in range(50):
+            traj = sample_trajectory(rng, 48, late_event_prob=1.0)
+            t = traj.onset_hour
+            if t >= 1:
+                jumps.append(traj.severity[t] - traj.severity[t - 1])
+        assert np.mean(jumps) > 0.5
+
+    def test_no_event_trends_downward(self):
+        rng = np.random.default_rng(4)
+        drops = []
+        for _ in range(50):
+            traj = sample_trajectory(rng, 48, late_event_prob=0.0)
+            drops.append(traj.severity[:8].mean() - traj.severity[-8:].mean())
+        assert np.mean(drops) > 0
+
+    def test_initial_scale_scales_start(self):
+        small = [sample_trajectory(np.random.default_rng(s), 48, 0.0,
+                                   initial_scale=0.5).severity[0]
+                 for s in range(40)]
+        large = [sample_trajectory(np.random.default_rng(s), 48, 0.0,
+                                   initial_scale=2.0).severity[0]
+                 for s in range(40)]
+        assert np.mean(large) > np.mean(small)
+
+
+class TestRiskScore:
+    def test_late_deterioration_scores_higher_than_early(self):
+        """Same total severity, different timing: late must score higher."""
+        early = np.r_[np.full(24, 2.0), np.full(24, 0.1)]
+        late = early[::-1].copy()
+        s_early = SeverityTrajectory(early, None, None, False).risk_score()
+        s_late = SeverityTrajectory(late, None, None, False).risk_score()
+        assert s_late > s_early
+
+    def test_monotone_in_severity(self):
+        base = np.linspace(0.5, 1.0, 48)
+        low = SeverityTrajectory(base, None, None, False).risk_score()
+        high = SeverityTrajectory(base * 2, None, None, False).risk_score()
+        assert high > low
+
+    def test_summaries(self):
+        sev = np.linspace(0.0, 1.0, 48)
+        traj = SeverityTrajectory(sev, None, None, False)
+        assert np.isclose(traj.peak, 1.0)
+        assert np.isclose(traj.late_mean, sev[-8:].mean())
+        assert np.isclose(traj.overall_mean, sev.mean())
+
+
+class TestGlobalLoadings:
+    def test_gcs_falls_with_illness(self):
+        assert GLOBAL_LOADINGS["GCS"] < 0
+
+    def test_vector_layout(self):
+        vec = global_loading_vector()
+        for name, value in GLOBAL_LOADINGS.items():
+            assert vec[feature_index(name)] == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.0, 1.0), st.integers(10, 96))
+def test_trajectory_invariants(seed, event_prob, steps):
+    """Property: any trajectory is nonnegative, finite, correct length."""
+    traj = sample_trajectory(np.random.default_rng(seed), steps, event_prob)
+    assert traj.severity.shape == (steps,)
+    assert np.all(np.isfinite(traj.severity))
+    assert np.all(traj.severity >= 0)
+    if traj.onset_hour is not None:
+        assert 0 <= traj.onset_hour < steps
+    assert traj.risk_score() >= 0

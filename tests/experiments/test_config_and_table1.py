@@ -1,0 +1,68 @@
+"""Tests of experiment configuration and the Table I runner."""
+
+import pytest
+
+from repro.experiments import default_config, render_table1, run_table1
+from repro.experiments.config import ExperimentConfig
+
+
+class TestConfig:
+    def test_presets_ordered(self):
+        small = default_config("small")
+        paper = default_config("paper")
+        assert paper.max_epochs > small.max_epochs
+        assert paper.num_seeds == 5  # the paper's five-runs protocol
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert default_config().scale == "medium"
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            default_config("cosmic")
+
+    def test_seeds_distinct(self):
+        config = ExperimentConfig(num_seeds=5, base_seed=3)
+        assert config.seeds() == [3, 4, 5, 6, 7]
+
+    def test_trainer_kwargs_paper_protocol(self):
+        config = default_config("paper")
+        kwargs = config.trainer_kwargs(seed=0)
+        assert kwargs["lr"] == 1e-3       # paper: initial lr 0.001
+        assert kwargs["batch_size"] == 64  # paper: batch size 64
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_table1(scale="small")
+
+    def test_both_datasets_present(self, results):
+        assert set(results) == {"PhysioNet2012", "MIMIC-III"}
+
+    def test_mimic_larger(self, results):
+        assert (results["MIMIC-III"]["admissions"]
+                > results["PhysioNet2012"]["admissions"])
+
+    def test_survivors_majority(self, results):
+        for stats in results.values():
+            assert stats["survivor"] > stats["non_survivor"]
+
+    def test_long_stay_majority(self, results):
+        """Paper Table I: LOS > 7 is the larger class in both datasets."""
+        for stats in results.values():
+            assert stats["los_gt_7"] > stats["los_le_7"]
+
+    def test_missing_rate_near_80_percent(self, results):
+        for stats in results.values():
+            assert 0.70 < stats["missing_rate"] < 0.90
+
+    def test_thirty_seven_features(self, results):
+        for stats in results.values():
+            assert stats["num_features"] == 37
+
+    def test_render_contains_all_rows(self, results):
+        text = render_table1(results)
+        assert "# of admissions" in text
+        assert "missing rate" in text
+        assert "PhysioNet2012" in text and "MIMIC-III" in text

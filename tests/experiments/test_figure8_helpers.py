@@ -1,0 +1,55 @@
+"""Tests of the Figure 8 helper functions (no training required)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Dipole
+from repro.data import NUM_FEATURES
+from repro.experiments.figure8 import attention_summary, dipole_time_attention
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset_local():
+    from repro.data import SyntheticEMRGenerator, build_dataset
+    admissions = SyntheticEMRGenerator().sample_many(
+        24, np.random.default_rng(3))
+    dataset, _ = build_dataset(admissions)
+    # Ensure both outcome groups are present for the grouping logic.
+    dataset.mortality[:4] = 1
+    dataset.mortality[4:] = 0
+    return dataset
+
+
+class TestDipoleTimeAttention:
+    def test_groups_and_shapes(self, tiny_dataset_local):
+        model = Dipole(NUM_FEATURES, np.random.default_rng(0),
+                       variant="concat", hidden_size=6, attention_size=4)
+        curves = dipole_time_attention(model, tiny_dataset_local,
+                                       batch_size=8)
+        steps = tiny_dataset_local.num_time_steps
+        assert curves["survivor"]["per_patient"].shape == (20, steps - 1)
+        assert curves["non_survivor"]["per_patient"].shape == (4, steps - 1)
+        assert curves["survivor"]["mean"].shape == (steps - 1,)
+
+    def test_rows_are_distributions(self, tiny_dataset_local):
+        model = Dipole(NUM_FEATURES, np.random.default_rng(1),
+                       variant="concat", hidden_size=6, attention_size=4)
+        curves = dipole_time_attention(model, tiny_dataset_local)
+        for group in ("survivor", "non_survivor"):
+            rows = curves[group]["per_patient"]
+            assert np.allclose(rows.sum(axis=1), 1.0, atol=1e-8)
+
+
+class TestAttentionSummary:
+    def test_uniform_curve(self):
+        curve = np.full(47, 1.0 / 47)
+        summary = attention_summary(curve)
+        assert np.isclose(summary["late_share"], (47 // 3) / 47)
+        assert np.isclose(summary["peakiness"], 1.0)
+
+    def test_late_concentration(self):
+        curve = np.zeros(47)
+        curve[-1] = 1.0
+        summary = attention_summary(curve)
+        assert summary["late_share"] == 1.0
+        assert summary["peakiness"] == 47.0

@@ -1,0 +1,34 @@
+"""Tests of table rendering helpers."""
+
+from repro.experiments import format_metric, render_table
+
+
+class TestFormatMetric:
+    def test_float(self):
+        assert format_metric(0.123456) == "0.123"
+
+    def test_digits(self):
+        assert format_metric(0.5, digits=1) == "0.5"
+
+    def test_int_passthrough(self):
+        assert format_metric(42) == "42"
+
+    def test_nan(self):
+        assert format_metric(float("nan")) == "n/a"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        text = render_table(["a", "b"], [["x", "y"], ["1", "2"]])
+        assert "a" in text and "y" in text and "2" in text
+
+    def test_title_first_line(self):
+        text = render_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        text = render_table(["col", "c2"], [["looooong", "1"], ["s", "2"]])
+        lines = text.splitlines()
+        # The second column starts at the same offset in all data rows.
+        offsets = {line.index(ch) for line, ch in zip(lines[-2:], "12")}
+        assert len(offsets) == 1

@@ -1,0 +1,58 @@
+"""Tests of the interpretability experiment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data import NUM_FEATURES, NUM_TIME_STEPS
+from repro.data.schema import feature_index
+from repro.experiments import patient_a_processed
+
+
+class TestPatientAProcessed:
+    @pytest.fixture(scope="class")
+    def processed(self, tiny_splits_cls):
+        return patient_a_processed(tiny_splits_cls.standardizer)
+
+    @pytest.fixture(scope="class")
+    def tiny_splits_cls(self):
+        from repro.data import SyntheticEMRGenerator, train_val_test_split
+        admissions = SyntheticEMRGenerator().sample_many(
+            50, np.random.default_rng(0))
+        return train_val_test_split(admissions, np.random.default_rng(1))
+
+    def test_shapes(self, processed):
+        values, ever_observed, admission = processed
+        assert values.shape == (NUM_TIME_STEPS, NUM_FEATURES)
+        assert ever_observed.shape == (NUM_FEATURES,)
+        assert not np.isnan(values).any()
+
+    def test_standardized_scale(self, processed):
+        """Values are z-scores: bulk within a plausible standardized band."""
+        values, _, _ = processed
+        assert np.abs(values).mean() < 3.0
+
+    def test_glucose_crisis_visible_after_standardization(self, processed):
+        values, _, admission = processed
+        glucose = values[:, feature_index("Glucose")]
+        assert glucose[20] > glucose[5] + 1.0
+
+    def test_case_study_features_marked_observed(self, processed):
+        _, ever_observed, _ = processed
+        for name in ("Glucose", "Lactate", "pH", "HCT", "WBC"):
+            assert ever_observed[feature_index(name)]
+
+    def test_deterministic(self, tiny_splits_cls):
+        a, _, _ = patient_a_processed(tiny_splits_cls.standardizer)
+        b, _, _ = patient_a_processed(tiny_splits_cls.standardizer)
+        assert np.array_equal(a, b)
+
+
+def test_examples_compile():
+    """Every example script must at least be valid Python."""
+    import pathlib
+    import py_compile
+    examples = pathlib.Path(__file__).parents[2] / "examples"
+    scripts = sorted(examples.glob("*.py"))
+    assert len(scripts) >= 4
+    for script in scripts:
+        py_compile.compile(str(script), doraise=True)

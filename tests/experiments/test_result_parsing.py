@@ -1,0 +1,36 @@
+"""Tests of the benchmark-side result-table parsing helpers.
+
+The cross-cell benchmark tests reconstruct per-model AUC-PR values from
+the persisted panel tables; this test pins the renderer format those
+parsers rely on (a render/parse round trip).
+"""
+
+from repro.experiments import render_figure6
+
+
+def _parse(text, model_names):
+    parsed = {}
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) == 4 and parts[0] in model_names:
+            parsed[parts[0]] = float(parts[3])
+    return parsed
+
+
+def test_render_parse_round_trip():
+    results = {("physionet2012", "mortality"): {
+        "LR": dict(bce=0.5, auc_roc=0.7, auc_pr=0.412),
+        "ELDA-Net": dict(bce=0.3, auc_roc=0.85, auc_pr=0.625),
+    }}
+    text = render_figure6(results)
+    parsed = _parse(text, ("LR", "ELDA-Net"))
+    assert parsed == {"LR": 0.412, "ELDA-Net": 0.625}
+
+
+def test_parser_ignores_headers_and_rules():
+    results = {("mimic3", "los"): {
+        "GRU": dict(bce=0.4, auc_roc=0.75, auc_pr=0.8),
+    }}
+    text = render_figure6(results)
+    parsed = _parse(text, ("GRU",))
+    assert list(parsed) == ["GRU"]

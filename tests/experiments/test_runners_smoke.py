@@ -1,0 +1,102 @@
+"""Smoke tests of the figure/table runners at a micro scale.
+
+These verify the experiment plumbing end-to-end (training included) with
+a one-epoch budget; the scientific "shape" assertions live in the
+benchmark harness, which runs at a meaningful scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ExperimentConfig, aggregate_seeds,
+                               relevant_vs_irrelevant, render_figure6,
+                               render_table2, render_table3, run_grid,
+                               run_table2, run_table3, train_and_evaluate)
+from repro.experiments.figure8 import attention_summary
+
+
+@pytest.fixture(scope="module")
+def micro_config():
+    return ExperimentConfig(scale="small", max_epochs=1, patience=1,
+                            num_seeds=1, batch_size=32,
+                            model_overrides=dict())
+
+
+@pytest.fixture(scope="module")
+def micro_splits():
+    from repro.data import SyntheticEMRGenerator, train_val_test_split
+    admissions = SyntheticEMRGenerator().sample_many(
+        60, np.random.default_rng(0))
+    return train_val_test_split(admissions, np.random.default_rng(1))
+
+
+class TestRunner:
+    def test_train_and_evaluate_contract(self, micro_config, micro_splits):
+        metrics, model = train_and_evaluate(
+            "GRU", micro_splits, "mortality", micro_config, seed=0,
+            model_kwargs=dict(hidden_size=6))
+        assert {"bce", "auc_roc", "auc_pr", "params",
+                "seconds_per_batch"} <= set(metrics)
+        assert metrics["params"] == model.num_parameters()
+
+    def test_aggregate_seeds_means(self):
+        per_seed = [
+            dict(bce=0.4, auc_roc=0.7, auc_pr=0.5, params=10,
+                 seconds_per_batch=0.1, prediction_seconds=0.01),
+            dict(bce=0.6, auc_roc=0.9, auc_pr=0.7, params=10,
+                 seconds_per_batch=0.3, prediction_seconds=0.03),
+        ]
+        agg = aggregate_seeds(per_seed)
+        assert np.isclose(agg["bce"], 0.5)
+        assert np.isclose(agg["auc_roc"], 0.8)
+        assert np.isclose(agg["auc_pr_std"], 0.1)
+
+    def test_run_grid_micro(self, micro_config):
+        results = run_grid(("LR",), "physionet2012", "mortality",
+                           micro_config)
+        assert "LR" in results
+        assert 0.0 <= results["LR"]["auc_roc"] <= 1.0
+
+
+class TestRenderers:
+    def test_render_figure6_layout(self):
+        results = {("physionet2012", "mortality"): {
+            "LR": dict(bce=0.4, auc_roc=0.8, auc_pr=0.5)}}
+        text = render_figure6(results)
+        assert "physionet2012 / mortality" in text
+        assert "LR" in text and "0.800" in text
+
+    def test_table2_runner_and_render(self):
+        results = run_table2()
+        assert "Glucose" in results and "Lactate" in results
+        # DLA crisis: Glucose standardized value high at hour 19.
+        assert results["Glucose"][19] > 1.0
+        # HCT stays near baseline (irrelevant to DLA).
+        assert abs(results["HCT"][19]) < 1.5
+        text = render_table2(results)
+        assert "h13" in text and "Glucose" in text
+
+    def test_table3_runner_and_render(self, micro_config):
+        results = run_table3(micro_config, models=("LR", "GRU"),
+                             num_batches=1)
+        assert results["LR"]["params"] == 38
+        assert results["GRU"]["train_seconds_per_batch"] > 0
+        text = render_table3(results)
+        assert "# of param" in text
+
+    def test_attention_summary(self):
+        curve = np.zeros(47)
+        curve[-5:] = 0.2
+        summary = attention_summary(curve)
+        assert summary["late_share"] == 1.0
+        assert summary["peakiness"] == pytest.approx(0.2 * 47)
+
+    def test_relevant_vs_irrelevant(self):
+        names = ["Glucose", "Lactate", "HCT"]
+        matrix = np.array([[0.0, 0.9, 0.1],
+                           [0.5, 0.0, 0.5],
+                           [0.5, 0.5, 0.0]])
+        rel, irr = relevant_vs_irrelevant(matrix, names, anchor="Glucose",
+                                          relevant=("Lactate",),
+                                          irrelevant=("HCT",))
+        assert rel == 0.9 and irr == pytest.approx(0.1)

@@ -1,0 +1,76 @@
+"""Tests of the calibration metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (brier_score, expected_calibration_error,
+                           reliability_curve)
+
+
+class TestBrier:
+    def test_perfect_forecast(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+
+    def test_worst_forecast(self):
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+    def test_uniform_half(self):
+        assert brier_score([1, 0, 1, 0], [0.5] * 4) == 0.25
+
+    def test_rejects_non_probabilities(self):
+        with pytest.raises(ValueError):
+            brier_score([1], [1.5])
+
+
+class TestReliabilityCurve:
+    def test_bins_cover_scores(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.05, 0.95, 0.15, 0.85])
+        confidence, frequency, counts = reliability_curve(labels, scores,
+                                                          num_bins=10)
+        assert counts.sum() == 4
+        assert counts[0] == 1 and counts[9] == 1
+
+    def test_empty_bins_are_nan(self):
+        confidence, frequency, counts = reliability_curve(
+            [1], [0.95], num_bins=10)
+        assert np.isnan(confidence[0])
+        assert counts[0] == 0
+
+    def test_calibrated_forecaster_on_diagonal(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(20_000)
+        labels = (rng.random(20_000) < scores).astype(float)
+        confidence, frequency, counts = reliability_curve(labels, scores)
+        occupied = counts > 100
+        assert np.abs(confidence[occupied] - frequency[occupied]).max() < 0.05
+
+
+class TestECE:
+    def test_calibrated_forecaster_near_zero(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(20_000)
+        labels = (rng.random(20_000) < scores).astype(float)
+        assert expected_calibration_error(labels, scores) < 0.02
+
+    def test_overconfident_forecaster_penalized(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, 2_000).astype(float)
+        overconfident = np.where(labels > 0.5, 0.99, 0.01)
+        # Flip 30% of predictions: confidence stays extreme, accuracy drops.
+        flip = rng.random(2_000) < 0.3
+        overconfident[flip] = 1.0 - overconfident[flip]
+        assert expected_calibration_error(labels, overconfident) > 0.2
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(2, 100))
+def test_ece_bounded(seed, n):
+    """Property: ECE is in [0, 1] for any probability forecast."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, n)
+    scores = rng.random(n)
+    value = expected_calibration_error(labels, scores)
+    assert 0.0 <= value <= 1.0

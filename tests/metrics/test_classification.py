@@ -1,0 +1,182 @@
+"""Tests of the evaluation metrics, including property-based invariances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (accuracy, auc_pr, auc_roc, bce_loss,
+                           bootstrap_metric, evaluate_all, f1_score,
+                           precision_recall_curve, roc_curve)
+
+
+class TestAUCROC:
+    def test_perfect_classifier(self):
+        assert auc_roc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_classifier(self):
+        assert auc_roc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 5000)
+        scores = rng.random(5000)
+        assert abs(auc_roc(labels, scores) - 0.5) < 0.03
+
+    def test_ties_counted_half(self):
+        # One positive and one negative share a score: AUC = 0.5.
+        assert auc_roc([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_known_hand_value(self):
+        # pairs: (0.1,0.4)+, (0.1,0.3)+, (0.2,0.4)+, (0.2,0.3)+ => 4/4
+        # plus with 0.35 negative: (0.35,0.4)+, (0.35,0.3)- => 5/6
+        labels = [0, 0, 1, 1, 0]
+        scores = [0.1, 0.2, 0.4, 0.3, 0.35]
+        assert np.isclose(auc_roc(labels, scores), 5.0 / 6.0)
+
+    def test_single_class_is_nan(self):
+        assert np.isnan(auc_roc([1, 1], [0.2, 0.8]))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            auc_roc([0, 1], [0.5])
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError):
+            auc_roc([0, 2], [0.5, 0.5])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            auc_roc([], [])
+
+
+class TestAUCPR:
+    def test_perfect_classifier(self):
+        assert auc_pr([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_baseline_equals_prevalence_for_constant_scores(self):
+        labels = np.array([1] * 10 + [0] * 90)
+        scores = np.full(100, 0.5)
+        assert np.isclose(auc_pr(labels, scores), 0.1)
+
+    def test_no_positives_is_nan(self):
+        assert np.isnan(auc_pr([0, 0], [0.2, 0.8]))
+
+    def test_matches_manual_average_precision(self):
+        labels = np.array([1, 0, 1, 0, 1])
+        scores = np.array([0.9, 0.8, 0.7, 0.6, 0.5])
+        # AP = sum over positives of precision at that recall step / n_pos
+        expected = (1.0 / 1 + 2.0 / 3 + 3.0 / 5) / 3
+        assert np.isclose(auc_pr(labels, scores), expected)
+
+
+class TestCurves:
+    def test_roc_endpoints(self):
+        fpr, tpr, _ = roc_curve([0, 1, 0, 1], [0.1, 0.9, 0.4, 0.6])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_roc_monotone(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 200)
+        scores = rng.random(200)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_pr_recall_monotone(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, 200)
+        scores = rng.random(200)
+        _, recall, _ = precision_recall_curve(labels, scores)
+        assert np.all(np.diff(recall) >= 0)
+
+    def test_trapezoid_roc_matches_mannwhitney(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, 500)
+        scores = rng.random(500)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert np.isclose(np.trapezoid(tpr, fpr), auc_roc(labels, scores))
+
+
+class TestPointMetrics:
+    def test_bce_known_value(self):
+        assert np.isclose(bce_loss([1, 0], [0.5, 0.5]), np.log(2.0))
+
+    def test_bce_handles_extreme_scores(self):
+        assert np.isfinite(bce_loss([1, 0], [0.0, 1.0]))
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 0], [0.9, 0.1, 0.4, 0.6]) == 0.5
+
+    def test_f1_perfect(self):
+        assert f1_score([1, 0, 1], [0.9, 0.1, 0.8]) == 1.0
+
+    def test_f1_no_predictions(self):
+        assert f1_score([1, 1], [0.1, 0.2]) == 0.0
+
+    def test_evaluate_all_keys(self):
+        out = evaluate_all([0, 1], [0.3, 0.7])
+        assert set(out) == {"bce", "auc_roc", "auc_pr"}
+
+
+class TestBootstrap:
+    def test_interval_contains_point_typically(self):
+        rng = np.random.default_rng(4)
+        labels = rng.integers(0, 2, 300)
+        scores = np.clip(labels * 0.4 + rng.random(300) * 0.6, 0, 1)
+        point, low, high = bootstrap_metric(labels, scores, auc_roc,
+                                            n_resamples=100, seed=0)
+        assert low <= point <= high
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(5)
+
+        def width(n):
+            labels = rng.integers(0, 2, n)
+            scores = np.clip(labels * 0.3 + rng.random(n) * 0.7, 0, 1)
+            _, low, high = bootstrap_metric(labels, scores, auc_roc,
+                                            n_resamples=120, seed=1)
+            return high - low
+
+        assert width(2000) < width(60)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(5, 60))
+def test_auc_invariant_under_monotone_transform(seed, n):
+    """Property: AUC depends only on the score ordering."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, n)
+    if labels.min() == labels.max():
+        labels[0] = 1 - labels[0]
+    scores = rng.random(n)
+    original = auc_roc(labels, scores)
+    transformed = auc_roc(labels, np.exp(3 * scores) + 7)
+    assert np.isclose(original, transformed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(5, 60))
+def test_auc_flip_symmetry(seed, n):
+    """Property: negating scores gives 1 - AUC."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, n)
+    if labels.min() == labels.max():
+        labels[0] = 1 - labels[0]
+    scores = rng.normal(size=n)  # continuous: no ties
+    assert np.isclose(auc_roc(labels, scores),
+                      1.0 - auc_roc(labels, -scores))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(5, 60))
+def test_metrics_in_unit_interval(seed, n):
+    """Property: AUC-ROC and AUC-PR always land in [0, 1]."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, n)
+    if labels.min() == labels.max():
+        labels[0] = 1 - labels[0]
+    scores = rng.random(n)
+    assert 0.0 <= auc_roc(labels, scores) <= 1.0
+    assert 0.0 <= auc_pr(labels, scores) <= 1.0

@@ -1,0 +1,71 @@
+"""Tests of weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+@pytest.fixture
+def local_rng():
+    return np.random.default_rng(0)
+
+
+class TestGlorot:
+    def test_uniform_bounds(self, local_rng):
+        w = init.glorot_uniform((100, 200), local_rng)
+        limit = np.sqrt(6.0 / 300)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_normal_std(self, local_rng):
+        w = init.glorot_normal((500, 500), local_rng)
+        assert abs(w.std() - np.sqrt(2.0 / 1000)) < 5e-3
+
+    def test_he_uniform_bounds(self, local_rng):
+        w = init.he_uniform((100, 50), local_rng)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 100))
+
+    def test_conv_shape_fans(self, local_rng):
+        w = init.glorot_uniform((4, 8, 3), local_rng)
+        assert w.shape == (4, 8, 3)
+
+
+class TestOrthogonal:
+    def test_orthonormal_columns(self, local_rng):
+        w = init.orthogonal((8, 8), local_rng)
+        assert np.allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_tall_matrix(self, local_rng):
+        w = init.orthogonal((10, 4), local_rng)
+        assert np.allclose(w.T @ w, np.eye(4), atol=1e-10)
+
+    def test_wide_matrix(self, local_rng):
+        w = init.orthogonal((4, 10), local_rng)
+        assert np.allclose(w @ w.T, np.eye(4), atol=1e-10)
+
+    def test_gain_scales(self, local_rng):
+        w = init.orthogonal((6, 6), local_rng, gain=2.0)
+        assert np.allclose(w @ w.T, 4 * np.eye(6), atol=1e-9)
+
+    def test_rejects_one_dim(self, local_rng):
+        with pytest.raises(ValueError):
+            init.orthogonal((5,), local_rng)
+
+
+class TestSimple:
+    def test_zeros_and_ones(self):
+        assert np.all(init.zeros((3, 2)) == 0.0)
+        assert np.all(init.ones((3, 2)) == 1.0)
+
+    def test_uniform_range(self, local_rng):
+        w = init.uniform((1000,), local_rng, low=-0.1, high=0.1)
+        assert np.all(np.abs(w) <= 0.1)
+
+    def test_normal_std(self, local_rng):
+        w = init.normal((5000,), local_rng, std=0.2)
+        assert abs(w.std() - 0.2) < 0.02
+
+    def test_reproducible_from_seed(self):
+        a = init.glorot_uniform((4, 4), np.random.default_rng(42))
+        b = init.glorot_uniform((4, 4), np.random.default_rng(42))
+        assert np.array_equal(a, b)

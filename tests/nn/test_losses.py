@@ -1,0 +1,130 @@
+"""Tests of loss functions, including numerical-stability properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.losses import (bce_with_logits, binary_cross_entropy,
+                             cross_entropy, mean_squared_error)
+from tests.conftest import assert_gradcheck
+
+RNG = np.random.default_rng(3)
+
+
+class TestBinaryCrossEntropy:
+    def test_known_value(self):
+        loss = binary_cross_entropy(nn.Tensor([0.5, 0.5]),
+                                    np.array([1.0, 0.0]))
+        assert np.isclose(loss.item(), np.log(2.0))
+
+    def test_perfect_prediction_near_zero(self):
+        loss = binary_cross_entropy(nn.Tensor([0.9999999, 0.0000001]),
+                                    np.array([1.0, 0.0]))
+        assert loss.item() < 1e-4
+
+    def test_clipping_prevents_infinity(self):
+        loss = binary_cross_entropy(nn.Tensor([0.0, 1.0]),
+                                    np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+    def test_reductions(self):
+        probs = nn.Tensor([0.5, 0.5])
+        targets = np.array([1.0, 0.0])
+        total = binary_cross_entropy(probs, targets, reduction="sum").item()
+        mean = binary_cross_entropy(probs, targets, reduction="mean").item()
+        per = binary_cross_entropy(probs, targets, reduction="none")
+        assert np.isclose(total, 2 * mean)
+        assert per.shape == (2,)
+
+    def test_unknown_reduction_raises(self):
+        with pytest.raises(ValueError):
+            binary_cross_entropy(nn.Tensor([0.5]), np.array([1.0]),
+                                 reduction="bogus")
+
+
+class TestBCEWithLogits:
+    def test_matches_probability_form(self):
+        logits = RNG.normal(size=10) * 2
+        targets = (RNG.random(10) > 0.5).astype(float)
+        via_logits = bce_with_logits(nn.Tensor(logits), targets).item()
+        probs = 1 / (1 + np.exp(-logits))
+        via_probs = binary_cross_entropy(nn.Tensor(probs), targets).item()
+        assert np.isclose(via_logits, via_probs, atol=1e-6)
+
+    def test_stable_for_extreme_logits(self):
+        loss = bce_with_logits(nn.Tensor([1000.0, -1000.0]),
+                               np.array([1.0, 0.0]))
+        assert np.isclose(loss.item(), 0.0)
+
+    def test_gradient_is_sigmoid_minus_target(self):
+        logits = nn.Tensor([0.0, 2.0], requires_grad=True)
+        bce_with_logits(logits, np.array([1.0, 0.0]),
+                        reduction="sum").backward()
+        expected = 1 / (1 + np.exp(-logits.data)) - np.array([1.0, 0.0])
+        assert np.allclose(logits.grad, expected)
+
+    def test_gradcheck(self):
+        targets = (RNG.random(6) > 0.5).astype(float)
+        assert_gradcheck(
+            lambda z: bce_with_logits(z, targets), RNG.normal(size=6))
+
+    def test_pos_weight_upweights_positives(self):
+        logits = np.zeros(2)
+        targets = np.array([1.0, 0.0])
+        plain = bce_with_logits(nn.Tensor(logits), targets,
+                                reduction="none").data
+        weighted = bce_with_logits(nn.Tensor(logits), targets,
+                                   reduction="none", pos_weight=3.0).data
+        assert np.isclose(weighted[0], 3 * plain[0])
+        assert np.isclose(weighted[1], plain[1])
+
+    def test_pos_weight_gradcheck(self):
+        targets = np.array([1.0, 0.0, 1.0, 0.0])
+        assert_gradcheck(
+            lambda z: bce_with_logits(z, targets, pos_weight=2.5),
+            RNG.normal(size=4))
+
+
+class TestCrossEntropy:
+    def test_uniform_logits(self):
+        logits = nn.Tensor(np.zeros((3, 4)))
+        loss = cross_entropy(logits, np.array([0, 1, 2]))
+        assert np.isclose(loss.item(), np.log(4.0))
+
+    def test_correct_class_dominates(self):
+        logits = np.full((2, 3), -10.0)
+        logits[0, 1] = 10.0
+        logits[1, 2] = 10.0
+        loss = cross_entropy(nn.Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_gradcheck(self):
+        targets = np.array([0, 2, 1])
+        assert_gradcheck(lambda z: cross_entropy(z, targets),
+                         RNG.normal(size=(3, 4)))
+
+
+class TestMSE:
+    def test_zero_at_match(self):
+        x = nn.Tensor([1.0, 2.0])
+        assert mean_squared_error(x, np.array([1.0, 2.0])).item() == 0.0
+
+    def test_known_value(self):
+        loss = mean_squared_error(nn.Tensor([0.0, 0.0]),
+                                  np.array([1.0, 3.0]))
+        assert np.isclose(loss.item(), 5.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-20, 20), min_size=1, max_size=16),
+       st.integers(0, 2 ** 16 - 1))
+def test_bce_with_logits_always_nonnegative(logit_values, label_bits):
+    """Property: BCE is nonnegative and finite for any logits."""
+    logits = np.array(logit_values)
+    labels = np.array([(label_bits >> i) & 1 for i in range(len(logits))],
+                      dtype=float)
+    loss = bce_with_logits(nn.Tensor(logits), labels).item()
+    assert loss >= -1e-12
+    assert np.isfinite(loss)

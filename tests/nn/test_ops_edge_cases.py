@@ -1,0 +1,104 @@
+"""Edge-case tests of the op layer beyond the gradcheck suite."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import ops
+
+
+class TestShapesAndErrors:
+    def test_split_rejects_uneven(self):
+        with pytest.raises(ValueError):
+            ops.split(nn.Tensor(np.zeros((2, 5))), 2, axis=-1)
+
+    def test_split_count_and_shapes(self):
+        parts = ops.split(nn.Tensor(np.zeros((2, 6))), 3, axis=-1)
+        assert len(parts) == 3
+        assert all(p.shape == (2, 2) for p in parts)
+
+    def test_concat_axis0(self):
+        a = nn.Tensor(np.ones((2, 3)))
+        b = nn.Tensor(np.zeros((1, 3)))
+        out = ops.concat([a, b], axis=0)
+        assert out.shape == (3, 3)
+        assert out.data[-1].sum() == 0.0
+
+    def test_stack_new_axis(self):
+        a = nn.Tensor(np.ones(3))
+        out = ops.stack([a, a, a], axis=0)
+        assert out.shape == (3, 3)
+
+    def test_getitem_boolean_mask_forward(self):
+        x = nn.Tensor(np.arange(6.0))
+        mask = np.array([True, False, True, False, True, False])
+        assert np.array_equal(x[mask].data, [0.0, 2.0, 4.0])
+
+    def test_embedding_lookup_duplicate_indices_accumulate(self):
+        table = nn.Tensor(np.zeros((3, 2)), requires_grad=True)
+        idx = np.array([1, 1, 1])
+        out = ops.embedding_lookup(table, idx)
+        out.sum().backward()
+        assert np.allclose(table.grad[1], 3.0)
+        assert np.allclose(table.grad[0], 0.0)
+
+
+class TestNumericalStability:
+    def test_softmax_extreme_logits(self):
+        x = nn.Tensor(np.array([[1000.0, -1000.0, 0.0]]))
+        out = ops.softmax(x, axis=-1).data
+        assert np.isfinite(out).all()
+        assert np.isclose(out.sum(), 1.0)
+        assert out[0, 0] > 0.999
+
+    def test_sigmoid_extreme_values(self):
+        x = nn.Tensor(np.array([500.0, -500.0]))
+        out = ops.sigmoid(x).data
+        assert np.isfinite(out).all()
+        assert out[0] > 0.999 and out[1] < 0.001
+
+    def test_log_softmax_extreme(self):
+        x = nn.Tensor(np.array([[800.0, 0.0]]))
+        out = ops.log_softmax(x, axis=-1).data
+        assert np.isfinite(out).all()
+
+    def test_max_gradient_splits_ties(self):
+        x = nn.Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+        ops.max(x).backward()
+        assert np.allclose(x.grad, [0.5, 0.5, 0.0])
+
+
+class TestWhere:
+    def test_forward_select(self):
+        cond = np.array([True, False])
+        out = ops.where(cond, nn.Tensor([1.0, 1.0]), nn.Tensor([9.0, 9.0]))
+        assert np.array_equal(out.data, [1.0, 9.0])
+
+    def test_gradient_routes_by_condition(self):
+        cond = np.array([True, False])
+        a = nn.Tensor([1.0, 1.0], requires_grad=True)
+        b = nn.Tensor([9.0, 9.0], requires_grad=True)
+        ops.where(cond, a, b).sum().backward()
+        assert np.array_equal(a.grad, [1.0, 0.0])
+        assert np.array_equal(b.grad, [0.0, 1.0])
+
+    def test_broadcast_condition(self):
+        cond = np.array([[True], [False]])
+        a = nn.Tensor(np.ones((2, 3)), requires_grad=True)
+        b = nn.Tensor(np.zeros((2, 3)))
+        out = ops.where(np.broadcast_to(cond, (2, 3)), a, b)
+        assert out.data.sum() == 3.0
+
+
+class TestDropoutMask:
+    def test_zero_rate_identity(self):
+        x = nn.Tensor(np.ones(10))
+        assert ops.dropout_mask(x, 0.0, np.random.default_rng(0)) is x
+
+    def test_gradient_matches_mask(self):
+        rng = np.random.default_rng(1)
+        x = nn.Tensor(np.ones(1000), requires_grad=True)
+        out = ops.dropout_mask(x, 0.5, rng)
+        out.sum().backward()
+        # Gradient is exactly the applied mask (inverted dropout scale).
+        assert np.array_equal(x.grad, out.data)

@@ -1,0 +1,116 @@
+"""Tests of the optimizers: convergence, state, and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def quadratic_loss(param, target):
+    diff = param - nn.Tensor(target)
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer, param, target, steps):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param, target)
+        loss.backward()
+        optimizer.step()
+    return quadratic_loss(param, target).item()
+
+
+TARGET = np.array([1.0, -2.0, 3.0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(3))
+        final = run_steps(nn.SGD([param], lr=0.1), param, TARGET, 200)
+        assert final < 1e-6
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(3))
+        heavy = Parameter(np.zeros(3))
+        loss_plain = run_steps(nn.SGD([plain], lr=0.01), plain, TARGET, 50)
+        loss_heavy = run_steps(nn.SGD([heavy], lr=0.01, momentum=0.9),
+                               heavy, TARGET, 50)
+        assert loss_heavy < loss_plain
+
+    def test_weight_decay_shrinks_solution(self):
+        param = Parameter(np.zeros(3))
+        run_steps(nn.SGD([param], lr=0.1, weight_decay=1.0), param, TARGET, 300)
+        assert np.all(np.abs(param.data) < np.abs(TARGET))
+
+    def test_skips_parameters_without_grad(self):
+        a, b = Parameter(np.zeros(2)), Parameter(np.ones(2))
+        opt = nn.SGD([a, b], lr=0.1)
+        (a * a).sum().backward()
+        opt.step()
+        assert np.array_equal(b.data, np.ones(2))
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(3))
+        final = run_steps(nn.Adam([param], lr=0.1), param, TARGET, 300)
+        assert final < 1e-4
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step has magnitude ~lr.
+        param = Parameter(np.zeros(1))
+        opt = nn.Adam([param], lr=0.05)
+        (param * 3.0).sum().backward()
+        opt.step()
+        assert np.isclose(abs(param.data[0]), 0.05, rtol=1e-3)
+
+    def test_handles_sparse_grads_across_steps(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = nn.Adam([a, b], lr=0.1)
+        for k in range(4):
+            opt.zero_grad()
+            if k % 2 == 0:
+                ((a - 1.0) ** 2).sum().backward()
+            else:
+                ((b - 1.0) ** 2).sum().backward()
+            opt.step()
+        assert a.data[0] > 0 and b.data[0] > 0
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(3))
+        final = run_steps(nn.RMSProp([param], lr=0.05), param, TARGET, 400)
+        assert final < 1e-3
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        norm = nn.clip_grad_norm([p], max_norm=10.0)
+        assert np.isclose(norm, 0.2)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_clips_to_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        nn.clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(np.sqrt((p.grad ** 2).sum()), 1.0)
+
+    def test_global_norm_across_parameters(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])
+        norm = nn.clip_grad_norm([a, b], max_norm=1.0)
+        assert np.isclose(norm, 5.0)
+        assert np.isclose(a.grad[0] / b.grad[0], 3.0 / 4.0)
+
+    def test_ignores_missing_grads(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad = np.array([2.0])
+        assert np.isclose(nn.clip_grad_norm([a, b], 10.0), 2.0)

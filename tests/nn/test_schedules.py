@@ -1,0 +1,92 @@
+"""Tests of learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.nn.schedules import CosineAnnealing, ReduceOnPlateau, StepDecay
+
+
+def make_optimizer(lr=0.1):
+    return nn.SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepDecay:
+    def test_decays_at_boundaries(self):
+        opt = make_optimizer(0.1)
+        sched = StepDecay(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert np.allclose(lrs, [0.1, 0.01, 0.01, 0.001])
+
+    def test_rejects_bad_step_size(self):
+        with pytest.raises(ValueError):
+            StepDecay(make_optimizer(), step_size=0)
+
+
+class TestCosineAnnealing:
+    def test_reaches_min_lr(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealing(opt, total_epochs=10, min_lr=0.001)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.001)
+
+    def test_monotone_decrease(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealing(opt, total_epochs=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_horizon(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealing(opt, total_epochs=3)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            CosineAnnealing(make_optimizer(), total_epochs=0)
+
+
+class TestReduceOnPlateau:
+    def test_holds_while_improving(self):
+        opt = make_optimizer(0.1)
+        sched = ReduceOnPlateau(opt, patience=1)
+        for value in (1.0, 0.9, 0.8, 0.7):
+            sched.step(value)
+        assert opt.lr == 0.1
+
+    def test_reduces_after_stall(self):
+        opt = make_optimizer(0.1)
+        sched = ReduceOnPlateau(opt, factor=0.5, patience=1)
+        sched.step(1.0)
+        sched.step(1.0)   # stall 1
+        sched.step(1.0)   # stall 2 > patience -> reduce
+        assert np.isclose(opt.lr, 0.05)
+
+    def test_respects_min_lr(self):
+        opt = make_optimizer(1e-5)
+        sched = ReduceOnPlateau(opt, factor=0.1, patience=0, min_lr=1e-6)
+        sched.step(1.0)
+        for _ in range(5):
+            sched.step(1.0)
+        assert opt.lr >= 1e-6
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            ReduceOnPlateau(make_optimizer(), factor=1.5)
+
+
+def test_schedule_integrates_with_training():
+    """Cosine-scheduled SGD still solves a quadratic."""
+    param = Parameter(np.array([5.0]))
+    opt = nn.SGD([param], lr=0.3)
+    sched = CosineAnnealing(opt, total_epochs=50, min_lr=0.01)
+    for _ in range(50):
+        opt.zero_grad()
+        (param * param).sum().backward()
+        opt.step()
+        sched.step()
+    assert abs(param.data[0]) < 1e-3

@@ -1,0 +1,37 @@
+"""Tests of weight save/load round trips."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.layers import Dense, GRU
+from repro.nn.module import Module
+
+
+class SmallModel(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.encoder = GRU(3, 4, rng, return_sequences=False)
+        self.head = Dense(4, 1, rng)
+
+    def forward(self, x):
+        return self.head(self.encoder(x))
+
+
+def test_round_trip_restores_outputs(tmp_path, rng):
+    model = SmallModel(np.random.default_rng(1))
+    other = SmallModel(np.random.default_rng(2))
+    x = nn.Tensor(rng.normal(size=(2, 5, 3)))
+    assert not np.allclose(model(x).data, other(x).data)
+
+    path = tmp_path / "weights.npz"
+    nn.save_weights(model, path)
+    nn.load_weights(other, path)
+    assert np.allclose(model(x).data, other(x).data)
+
+
+def test_archive_contains_all_parameters(tmp_path):
+    model = SmallModel(np.random.default_rng(0))
+    path = tmp_path / "weights.npz"
+    nn.save_weights(model, path)
+    with np.load(path) as archive:
+        assert set(archive.files) == set(model.state_dict())

@@ -1,0 +1,185 @@
+"""Tests of the Tensor class and backward machinery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import ops
+from repro.nn.tensor import unbroadcast
+
+
+class TestConstruction:
+    def test_wraps_scalar(self):
+        t = nn.Tensor(3.0)
+        assert t.shape == ()
+        assert t.item() == 3.0
+
+    def test_wraps_list(self):
+        t = nn.Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+
+    def test_casts_to_float64(self):
+        t = nn.Tensor(np.arange(4, dtype=np.int32))
+        assert t.dtype == np.float64
+
+    def test_no_copy_for_float64(self):
+        arr = np.zeros(3)
+        t = nn.Tensor(arr)
+        assert t.data is arr
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(nn.Tensor(1.0, requires_grad=True))
+
+    def test_len(self):
+        assert len(nn.Tensor([1.0, 2.0])) == 2
+
+    def test_as_tensor_passthrough(self):
+        t = nn.Tensor(1.0)
+        assert nn.as_tensor(t) is t
+
+
+class TestBackward:
+    def test_scalar_chain(self):
+        x = nn.Tensor(2.0, requires_grad=True)
+        y = x * x * x
+        y.backward()
+        assert np.isclose(x.grad, 12.0)
+
+    def test_grad_accumulates_over_reuse(self):
+        x = nn.Tensor(3.0, requires_grad=True)
+        y = x * x + x
+        y.backward()
+        assert np.isclose(x.grad, 7.0)
+
+    def test_diamond_graph(self):
+        x = nn.Tensor(2.0, requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        (a * b).backward()  # d/dx 15x^2 = 30x
+        assert np.isclose(x.grad, 60.0)
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = nn.Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = nn.Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [2.0, 20.0])
+
+    def test_backward_rejects_wrong_gradient_shape(self):
+        x = nn.Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2.0).backward(np.zeros(3))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            nn.Tensor(1.0).backward()
+
+    def test_deep_graph_no_recursion_error(self):
+        x = nn.Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        assert np.isclose(x.grad, 1.0)
+
+    def test_zero_grad(self):
+        x = nn.Tensor(1.0, requires_grad=True)
+        (x * x).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_second_backward_accumulates_into_leaves(self):
+        x = nn.Tensor(2.0, requires_grad=True)
+        (x * x).backward()
+        (x * x).backward()
+        assert np.isclose(x.grad, 8.0)
+
+
+class TestNoGrad:
+    def test_no_graph_inside_context(self):
+        x = nn.Tensor(1.0, requires_grad=True)
+        with nn.no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_restores_state(self):
+        assert nn.is_grad_enabled()
+        with nn.no_grad():
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_nested(self):
+        with nn.no_grad():
+            with nn.no_grad():
+                pass
+            assert not nn.is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = nn.Tensor(1.0, requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+        assert y.data == 2.0
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_axes(self):
+        g = np.ones((4, 2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+        assert np.all(unbroadcast(g, (2, 3)) == 4.0)
+
+    def test_sums_size_one_axes(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.all(out == 3.0)
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, ()).shape == ()
+        assert unbroadcast(g, ()) == 6.0
+
+
+class TestOperatorSugar:
+    def test_radd_rsub_rmul_rdiv(self):
+        x = nn.Tensor(4.0, requires_grad=True)
+        y = 1.0 + x - 2.0
+        z = 2.0 * y / 2.0
+        w = 8.0 / x
+        (z + w).backward()
+        # d/dx (x - 1 + 8/x) = 1 - 8/x^2 = 1 - 0.5
+        assert np.isclose(x.grad, 0.5)
+
+    def test_neg_and_pow(self):
+        x = nn.Tensor(3.0, requires_grad=True)
+        (-(x ** 2)).backward()
+        assert np.isclose(x.grad, -6.0)
+
+    def test_pow_rejects_tensor_exponent(self):
+        x = nn.Tensor(2.0)
+        with pytest.raises(TypeError):
+            ops.power(x, nn.Tensor(2.0))
+
+    def test_transpose_property(self):
+        x = nn.Tensor(np.arange(6.0).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+
+    def test_method_forms_match_ops(self):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        t = nn.Tensor(x)
+        assert np.allclose(t.sigmoid().data, ops.sigmoid(nn.Tensor(x)).data)
+        assert np.allclose(t.tanh().data, np.tanh(x))
+        assert np.allclose(t.relu().data, np.maximum(x, 0))
+        assert np.allclose(t.exp().data, np.exp(x))
+        assert np.allclose(t.mean().data, x.mean())
+        assert np.allclose(t.clip(-0.1, 0.1).data, np.clip(x, -0.1, 0.1))
+        assert np.allclose((t ** 2).sqrt().data, np.abs(x))
+        assert t.reshape(4, 3).shape == (4, 3)
+        assert t.reshape((4, 3)).shape == (4, 3)
+        assert t.swapaxes(0, 1).shape == (4, 3)

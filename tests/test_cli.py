@@ -1,0 +1,65 @@
+"""Tests of the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "galactic", "stats"])
+
+    def test_parses_train_options(self):
+        args = build_parser().parse_args(
+            ["train", "--model", "GRU", "--task", "los", "--epochs", "2"])
+        assert args.model == "GRU"
+        assert args.task == "los"
+        assert args.epochs == 2
+
+    def test_compare_models_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--models", "LR", "FM"])
+        assert args.models == ["LR", "FM"]
+
+
+class TestCommands:
+    def test_stats_prints_all_splits(self):
+        out = io.StringIO()
+        code = main(["stats", "--cohort", "physionet2012"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "[physionet2012 / train]" in text
+        assert "[physionet2012 / test]" in text
+        assert "missing_rate" in text
+
+    def test_train_lr_end_to_end(self, tmp_path):
+        out = io.StringIO()
+        weights = tmp_path / "lr.npz"
+        code = main(["train", "--model", "LR", "--epochs", "1",
+                     "--save", str(weights)], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "AUC-ROC" in text
+        assert "params  : 38" in text
+        assert weights.exists()
+
+    def test_compare_prints_table(self):
+        out = io.StringIO()
+        code = main(["compare", "--models", "LR", "FM"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "LR" in text and "FM" in text and "AUC-PR" in text
+
+
+class TestInterpretParser:
+    def test_parses_hour(self):
+        args = build_parser().parse_args(["interpret", "--hour", "35"])
+        assert args.hour == 35
+        assert args.command == "interpret"

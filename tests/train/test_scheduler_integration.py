@@ -1,0 +1,45 @@
+"""Tests of scheduler integration with the Trainer."""
+
+import numpy as np
+
+from repro.baselines import LogisticRegression
+from repro.data import NUM_FEATURES, SyntheticEMRGenerator, train_val_test_split
+from repro.nn.schedules import ReduceOnPlateau, StepDecay
+from repro.train import Trainer
+
+
+def _splits():
+    admissions = SyntheticEMRGenerator().sample_many(
+        40, np.random.default_rng(7))
+    return train_val_test_split(admissions, np.random.default_rng(8))
+
+
+def test_step_decay_reduces_lr_during_fit():
+    splits = _splits()
+    model = LogisticRegression(NUM_FEATURES, np.random.default_rng(0))
+    trainer = Trainer(model, "mortality", lr=0.01, max_epochs=4, patience=4,
+                      scheduler_factory=lambda opt: StepDecay(opt, 1, 0.5))
+    trainer.fit(splits.train, splits.validation)
+    assert np.isclose(trainer.optimizer.lr, 0.01 * 0.5 ** 4)
+
+
+def test_plateau_scheduler_receives_val_loss():
+    splits = _splits()
+    model = LogisticRegression(NUM_FEATURES, np.random.default_rng(1))
+    seen = []
+
+    class Spy(ReduceOnPlateau):
+        def step(self, value):
+            seen.append(value)
+            return super().step(value)
+
+    trainer = Trainer(model, "mortality", max_epochs=3, patience=3,
+                      scheduler_factory=lambda opt: Spy(opt))
+    history = trainer.fit(splits.train, splits.validation)
+    assert seen == history.val_loss
+
+
+def test_no_scheduler_by_default():
+    model = LogisticRegression(NUM_FEATURES, np.random.default_rng(2))
+    trainer = Trainer(model, "mortality")
+    assert trainer.scheduler is None
