@@ -36,6 +36,10 @@ def build_parser():
     parser.add_argument("--scale", choices=("small", "medium", "paper"),
                         default=None, help="protocol scale (default: "
                         "REPRO_SCALE env var, then 'small')")
+    parser.add_argument("--debug-anomaly", action="store_true",
+                        help="train under NaN/Inf anomaly detection: the "
+                        "first non-finite forward value or gradient raises "
+                        "naming the offending op")
     commands = parser.add_subparsers(dest="command", required=True)
 
     stats = commands.add_parser("stats", help="print dataset statistics")
@@ -102,7 +106,8 @@ def _cmd_train(args, out):
                          fractions=config.fractions)
     model = build_model(args.model, NUM_FEATURES,
                         np.random.default_rng(args.seed))
-    trainer = Trainer(model, args.task, **config.trainer_kwargs(args.seed))
+    trainer = Trainer(model, args.task, anomaly_mode=args.debug_anomaly,
+                      **config.trainer_kwargs(args.seed))
     history = trainer.fit(splits.train, splits.validation)
     metrics = trainer.evaluate(splits.test)
     out.write(f"{args.model} on {args.cohort}/{args.task}: "

@@ -3,11 +3,18 @@
 The ELDA paper implements its models in Keras/TensorFlow; this package
 provides the equivalent substrate: a reverse-mode autodiff tensor, a module
 system, layers (dense, recurrent, attention, conv, normalization),
-initializers, optimizers, and losses.  Gradients are validated against
-finite differences in the test suite.
+initializers, optimizers, and losses.
+
+Correctness is first-class: :mod:`repro.nn.gradcheck` validates any op or
+whole module against central finite differences, :mod:`repro.nn.debug`
+provides opt-in NaN/Inf anomaly detection and graph audits, and every
+primitive in :mod:`repro.nn.ops` is registered with sample inputs that an
+exhaustive test sweep gradchecks mechanically (see docs/CORRECTNESS.md).
 """
 
-from . import init, losses, ops, schedules
+from . import debug, gradcheck, init, losses, ops, schedules
+from .debug import AnomalyError, audit_backward, detect_anomaly
+from .gradcheck import GradcheckFailure, check_module
 from .module import Module, ModuleList, Parameter
 from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
 from .serialization import load_weights, save_weights
@@ -18,5 +25,7 @@ __all__ = [
     "Module", "ModuleList", "Parameter",
     "Optimizer", "SGD", "Adam", "RMSProp", "clip_grad_norm",
     "save_weights", "load_weights",
-    "ops", "init", "losses", "schedules",
+    "detect_anomaly", "AnomalyError", "audit_backward",
+    "check_module", "GradcheckFailure",
+    "ops", "init", "losses", "schedules", "gradcheck", "debug",
 ]

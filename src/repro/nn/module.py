@@ -81,6 +81,17 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def requires_grad_(self, flag=True):
+        """Set ``requires_grad`` on every parameter (freeze / unfreeze).
+
+        Used by :func:`repro.nn.gradcheck.check_module` callers to mask
+        sub-modules out of a check, and generally for transfer-style
+        freezing.  Returns ``self`` for chaining.
+        """
+        for param in self.parameters():
+            param.requires_grad = bool(flag)
+        return self
+
     # ------------------------------------------------------------------
     # Mode switching
     # ------------------------------------------------------------------

@@ -6,11 +6,23 @@ closures follow a single convention: they receive the gradient of the loss
 w.r.t. the op output and accumulate gradients into each parent that
 requires them, using :func:`repro.nn.tensor.unbroadcast` to undo numpy
 broadcasting.
+
+Op registry
+-----------
+Each primitive is declared with the :func:`differentiable` decorator,
+which records it in a registry together with a *sample-input factory*: a
+callable ``rng -> [OpSample, ...]`` producing scalar-valued test
+scenarios for the op.  The test suite enumerates the registry and runs a
+finite-difference gradient check over every sample
+(``tests/nn/test_gradcheck_registry.py``), so a new op cannot land
+without gradcheck coverage: registering one without a factory makes the
+sweep fail with :class:`MissingSampleFactory`.
 """
 
 from __future__ import annotations
 
 import builtins
+from collections import OrderedDict
 
 import numpy as np
 
@@ -27,9 +39,106 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
+# Op registry
+# ----------------------------------------------------------------------
+
+class MissingSampleFactory(LookupError):
+    """An op was registered without gradcheck sample inputs."""
+
+
+class OpSample:
+    """One gradcheck scenario for a registered op.
+
+    Parameters
+    ----------
+    build:
+        ``build(*tensors) -> scalar Tensor`` exercising the op; receives
+        one tensor per entry of ``arrays``.
+    arrays:
+        The differentiable numpy inputs of the scenario.
+    """
+
+    __slots__ = ("build", "arrays")
+
+    def __init__(self, build, *arrays):
+        self.build = build
+        self.arrays = tuple(np.asarray(a, dtype=np.float64) for a in arrays)
+
+
+class OpSpec:
+    """Registry record: the op callable plus its sample-input factory."""
+
+    __slots__ = ("name", "fn", "sample_factory")
+
+    def __init__(self, name, fn, sample_factory):
+        self.name = name
+        self.fn = fn
+        self.sample_factory = sample_factory
+
+    def __repr__(self):
+        flag = "" if self.sample_factory else ", no samples"
+        return f"OpSpec({self.name!r}{flag})"
+
+
+_REGISTRY = OrderedDict()
+
+
+def differentiable(sample_factory=None):
+    """Decorator registering a differentiable primitive.
+
+    ``sample_factory(rng)`` must return a list of :class:`OpSample`
+    scenarios; the registry-driven test sweep gradchecks every one.
+    Registering without a factory is allowed syntactically but fails the
+    sweep — the escape hatch exists only so the failure mode itself is
+    testable.
+    """
+    def decorate(fn):
+        _REGISTRY[fn.__name__] = OpSpec(fn.__name__, fn, sample_factory)
+        return fn
+    return decorate
+
+
+def registered_ops():
+    """Snapshot of the op registry: ``name -> OpSpec``."""
+    return OrderedDict(_REGISTRY)
+
+
+def sample_inputs(name, rng):
+    """Build the gradcheck scenarios for a registered op.
+
+    Raises :class:`MissingSampleFactory` when the op was registered
+    without a factory, and ``KeyError`` for unknown ops.
+    """
+    spec = _REGISTRY[name]
+    if spec.sample_factory is None:
+        raise MissingSampleFactory(
+            f"op {name!r} is registered without a sample-input factory; "
+            f"every differentiable primitive must declare gradcheck "
+            f"samples via @differentiable(factory)")
+    return list(spec.sample_factory(rng))
+
+
+def _sqsum(t):
+    """Scalar-valued wrapper used by sample factories: ``sum(t * t)``."""
+    return sum(mul(t, t))
+
+
+def _away_from_zero(rng, shape, gap=0.3):
+    """Random values with ``|x| >= gap`` (keeps kinked ops off their kink)."""
+    signs = np.where(rng.random(shape) < 0.5, -1.0, 1.0)
+    return rng.uniform(gap, 1.0 + gap, size=shape) * signs
+
+
+# ----------------------------------------------------------------------
 # Elementwise arithmetic
 # ----------------------------------------------------------------------
 
+@differentiable(lambda rng: [
+    OpSample(lambda a, b: sum(add(a, b)),
+             rng.normal(size=(3, 4)), rng.normal(size=(4,))),
+    OpSample(lambda a, b: _sqsum(add(a, b)),
+             rng.normal(size=(2, 1, 3)), rng.normal(size=(3,))),
+])
 def add(a, b):
     """Elementwise ``a + b`` with numpy broadcasting."""
     a, b = as_tensor(a), as_tensor(b)
@@ -44,6 +153,12 @@ def add(a, b):
     return Tensor._make(out_data, (a, b), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a, b: sum(sub(a, b)),
+             rng.normal(size=(3, 4)), rng.normal(size=(3, 1))),
+    OpSample(lambda a, b: _sqsum(sub(a, b)),
+             rng.normal(), rng.normal(size=(5,))),
+])
 def sub(a, b):
     """Elementwise ``a - b`` with numpy broadcasting."""
     a, b = as_tensor(a), as_tensor(b)
@@ -58,6 +173,12 @@ def sub(a, b):
     return Tensor._make(out_data, (a, b), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a, b: sum(mul(a, b)),
+             rng.normal(size=(3, 4)), rng.normal(size=(4,))),
+    OpSample(lambda a, b: _sqsum(mul(a, b)),
+             rng.normal(size=(2, 3)), rng.normal()),
+])
 def mul(a, b):
     """Elementwise ``a * b`` with numpy broadcasting."""
     a, b = as_tensor(a), as_tensor(b)
@@ -72,6 +193,12 @@ def mul(a, b):
     return Tensor._make(out_data, (a, b), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a, b: sum(div(a, b)),
+             rng.normal(size=(3, 4)), _away_from_zero(rng, (4,), gap=1.0)),
+    OpSample(lambda a, b: _sqsum(div(a, b)),
+             rng.normal(size=(2, 3)), _away_from_zero(rng, (2, 1), gap=1.0)),
+])
 def div(a, b):
     """Elementwise ``a / b`` with numpy broadcasting."""
     a, b = as_tensor(a), as_tensor(b)
@@ -86,6 +213,9 @@ def div(a, b):
     return Tensor._make(out_data, (a, b), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: _sqsum(neg(a)), rng.normal(size=(5,))),
+])
 def neg(a):
     """Elementwise negation."""
     a = as_tensor(a)
@@ -97,6 +227,14 @@ def neg(a):
     return Tensor._make(-a.data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(power(a, 3)), rng.normal(size=(4,))),
+    OpSample(lambda a: sum(power(a, 1.5)),
+             rng.uniform(0.5, 2.0, size=(4,))),
+    # exponent 0 must have an exactly-zero gradient, even at base 0
+    OpSample(lambda a: sum(power(a, 0)),
+             np.concatenate([rng.normal(size=(3,)), [0.0]])),
+])
 def power(a, exponent):
     """Elementwise ``a ** exponent`` for a constant scalar exponent."""
     a = as_tensor(a)
@@ -107,11 +245,19 @@ def power(a, exponent):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * exponent * a.data ** (exponent - 1.0))
+            if exponent == 0.0:
+                # d/dx x^0 = 0 everywhere; the generic formula would
+                # evaluate 0 * x^-1 and emit NaN at x = 0.
+                a._accumulate(np.zeros_like(a.data))
+            else:
+                a._accumulate(grad * exponent * a.data ** (exponent - 1.0))
 
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(abs(a)), _away_from_zero(rng, (6,))),
+])
 def abs(a):  # noqa: A001 - mirrors numpy naming
     """Elementwise absolute value (subgradient 0 at 0)."""
     a = as_tensor(a)
@@ -123,36 +269,68 @@ def abs(a):  # noqa: A001 - mirrors numpy naming
     return Tensor._make(np.abs(a.data), (a,), backward)
 
 
+def _tie_samples(rng, op_name):
+    """Samples for maximum/minimum: a generic pair plus an exact-tie pair."""
+    fn = _REGISTRY[op_name].fn
+    a = rng.normal(size=(5,))
+    offsets = rng.choice([-0.75, 0.75], size=(5,))
+    b_tied = a.copy()
+    b_tied[::2] += offsets[::2]          # odd positions tie exactly
+    return [
+        OpSample(lambda x, y: sum(fn(x, y)),
+                 rng.normal(size=(4,)) , rng.normal(size=(4,)) + 2.5),
+        OpSample(lambda x, y: sum(fn(x, y)), a, b_tied),
+        OpSample(lambda x, y: _sqsum(fn(x, y)),
+                 rng.normal(size=(3, 4)), rng.normal(size=(4,))),
+    ]
+
+
+@differentiable(lambda rng: _tie_samples(rng, "maximum"))
 def maximum(a, b):
-    """Elementwise maximum; ties send the gradient to ``a``."""
+    """Elementwise maximum; exact ties split the gradient evenly.
+
+    The even split matches central finite differences (each tied input
+    receives half the sensitivity), which a winner-take-all subgradient
+    would not.
+    """
     a, b = as_tensor(a), as_tensor(b)
-    mask = a.data >= b.data
-    out_data = np.where(mask, a.data, b.data)
+    a_wins = a.data > b.data
+    tie = a.data == b.data
+    out_data = np.where(a_wins | tie, a.data, b.data)
+    coeff_a = a_wins + 0.5 * tie
+    coeff_b = 1.0 - coeff_a
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(unbroadcast(grad * mask, a.shape))
+            a._accumulate(unbroadcast(grad * coeff_a, a.shape))
         if b.requires_grad:
-            b._accumulate(unbroadcast(grad * (~mask), b.shape))
+            b._accumulate(unbroadcast(grad * coeff_b, b.shape))
 
     return Tensor._make(out_data, (a, b), backward)
 
 
+@differentiable(lambda rng: _tie_samples(rng, "minimum"))
 def minimum(a, b):
-    """Elementwise minimum; ties send the gradient to ``a``."""
+    """Elementwise minimum; exact ties split the gradient evenly."""
     a, b = as_tensor(a), as_tensor(b)
-    mask = a.data <= b.data
-    out_data = np.where(mask, a.data, b.data)
+    a_wins = a.data < b.data
+    tie = a.data == b.data
+    out_data = np.where(a_wins | tie, a.data, b.data)
+    coeff_a = a_wins + 0.5 * tie
+    coeff_b = 1.0 - coeff_a
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(unbroadcast(grad * mask, a.shape))
+            a._accumulate(unbroadcast(grad * coeff_a, a.shape))
         if b.requires_grad:
-            b._accumulate(unbroadcast(grad * (~mask), b.shape))
+            b._accumulate(unbroadcast(grad * coeff_b, b.shape))
 
     return Tensor._make(out_data, (a, b), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(clip(a, -0.5, 0.5)), rng.normal(size=(8,)) * 2.0),
+])
 def clip(a, low, high):
     """Clamp values to ``[low, high]``; gradient is zero outside the range."""
     a = as_tensor(a)
@@ -166,6 +344,12 @@ def clip(a, low, high):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a, b: sum(where(np.arange(6) % 2 == 0, a, b)),
+             rng.normal(size=(6,)), rng.normal(size=(6,))),
+    OpSample(lambda a, b: _sqsum(where(np.eye(3, dtype=bool), a, b)),
+             rng.normal(size=(3, 3)), rng.normal(size=(3,))),
+])
 def where(condition, a, b):
     """Elementwise select: ``a`` where ``condition`` is true, else ``b``.
 
@@ -188,6 +372,9 @@ def where(condition, a, b):
 # Transcendental / activation functions
 # ----------------------------------------------------------------------
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(exp(a)), rng.normal(size=(5,))),
+])
 def exp(a):
     """Elementwise exponential."""
     a = as_tensor(a)
@@ -200,6 +387,9 @@ def exp(a):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(log(a)), rng.uniform(0.5, 3.0, size=(5,))),
+])
 def log(a):
     """Elementwise natural logarithm."""
     a = as_tensor(a)
@@ -212,6 +402,9 @@ def log(a):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(sqrt(a)), rng.uniform(0.5, 3.0, size=(5,))),
+])
 def sqrt(a):
     """Elementwise square root."""
     a = as_tensor(a)
@@ -224,6 +417,9 @@ def sqrt(a):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(tanh(a)), rng.normal(size=(5,))),
+])
 def tanh(a):
     """Elementwise hyperbolic tangent."""
     a = as_tensor(a)
@@ -236,6 +432,9 @@ def tanh(a):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(sigmoid(a)), rng.normal(size=(5,)) * 3.0),
+])
 def sigmoid(a):
     """Numerically stable elementwise logistic sigmoid."""
     a = as_tensor(a)
@@ -253,6 +452,9 @@ def sigmoid(a):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(relu(a)), _away_from_zero(rng, (7,))),
+])
 def relu(a):
     """Elementwise rectified linear unit."""
     a = as_tensor(a)
@@ -266,6 +468,9 @@ def relu(a):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(leaky_relu(a, 0.1)), _away_from_zero(rng, (7,))),
+])
 def leaky_relu(a, negative_slope=0.01):
     """Leaky ReLU with configurable negative-side slope."""
     a = as_tensor(a)
@@ -296,6 +501,15 @@ def _expand_reduced(grad, shape, axis, keepdims):
     return np.broadcast_to(grad, shape)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(a), rng.normal(size=(3, 4))),
+    OpSample(lambda a: _sqsum(sum(a, axis=1)), rng.normal(size=(3, 4))),
+    OpSample(lambda a: _sqsum(sum(a, axis=0, keepdims=True)),
+             rng.normal(size=(3, 4))),
+    OpSample(lambda a: _sqsum(sum(a, axis=(0, 2))),
+             rng.normal(size=(2, 3, 4))),
+    OpSample(lambda a: _sqsum(sum(a, axis=-1)), rng.normal(size=(2, 3))),
+])
 def sum(a, axis=None, keepdims=False):  # noqa: A001 - mirrors numpy naming
     """Sum over the given axis (or all axes)."""
     a = as_tensor(a)
@@ -308,6 +522,12 @@ def sum(a, axis=None, keepdims=False):  # noqa: A001 - mirrors numpy naming
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: mean(a), rng.normal(size=(3, 4))),
+    OpSample(lambda a: _sqsum(mean(a, axis=1)), rng.normal(size=(3, 4))),
+    OpSample(lambda a: _sqsum(mean(a, axis=(0, 2), keepdims=True)),
+             rng.normal(size=(2, 3, 4))),
+])
 def mean(a, axis=None, keepdims=False):
     """Mean over the given axis (or all axes)."""
     a = as_tensor(a)
@@ -322,6 +542,21 @@ def mean(a, axis=None, keepdims=False):
     return Tensor._make(out_data, (a,), backward)
 
 
+def _distinct(rng, shape):
+    """Values with well-separated magnitudes (unambiguous arg-extrema)."""
+    size = int(np.prod(shape))
+    return (np.linspace(0.0, 1.0, size).reshape(shape)
+            + rng.normal(size=shape) * 0.01)
+
+
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(max(a, axis=1)), _distinct(rng, (3, 4))),
+    OpSample(lambda a: max(a), _distinct(rng, (6,))),
+    OpSample(lambda a: _sqsum(max(a, axis=0, keepdims=True)),
+             _distinct(rng, (3, 4))),
+    # two exactly-tied maxima: the gradient splits 0.5 / 0.5
+    OpSample(lambda a: max(a), np.array([0.2, 1.5, -0.3, 1.5])),
+])
 def max(a, axis=None, keepdims=False):  # noqa: A001
     """Maximum over the given axis; gradient is split evenly among ties."""
     a = as_tensor(a)
@@ -337,11 +572,20 @@ def max(a, axis=None, keepdims=False):  # noqa: A001
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(min(a, axis=0)), _distinct(rng, (3, 4))),
+    OpSample(lambda a: min(a), _distinct(rng, (6,))),
+    OpSample(lambda a: min(a), np.array([0.2, -1.5, 0.3, -1.5])),
+])
 def min(a, axis=None, keepdims=False):  # noqa: A001
     """Minimum over the given axis; gradient is split evenly among ties."""
     return neg(max(neg(a), axis=axis, keepdims=keepdims))
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(var(a, axis=-1)), rng.normal(size=(3, 5))),
+    OpSample(lambda a: var(a), rng.normal(size=(4,))),
+])
 def var(a, axis=None, keepdims=False):
     """Population variance over the given axis (ddof=0)."""
     mu = mean(a, axis=axis, keepdims=True)
@@ -353,6 +597,22 @@ def var(a, axis=None, keepdims=False):
 # Linear algebra
 # ----------------------------------------------------------------------
 
+@differentiable(lambda rng: [
+    OpSample(lambda a, b: sum(matmul(a, b)),
+             rng.normal(size=(3, 4)), rng.normal(size=(4, 2))),
+    OpSample(lambda a, b: sum(matmul(a, b)),
+             rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 2))),
+    OpSample(lambda a, b: sum(matmul(a, b)),
+             rng.normal(size=(2, 3, 4)), rng.normal(size=(4, 2))),
+    OpSample(lambda a, b: sum(matmul(a, b)),
+             rng.normal(size=(4,)), rng.normal(size=(4, 3))),
+    OpSample(lambda a, b: sum(matmul(a, b)),
+             rng.normal(size=(3, 4)), rng.normal(size=(4,))),
+    OpSample(lambda a, b: matmul(a, b),
+             rng.normal(size=(4,)), rng.normal(size=(4,))),
+    OpSample(lambda a, b: sum(matmul(a, b)),
+             rng.normal(size=(2, 3, 4)), rng.normal(size=(4,))),
+])
 def matmul(a, b):
     """Matrix product with numpy's stacked-batch semantics.
 
@@ -396,6 +656,12 @@ def matmul(a, b):
     return Tensor._make(out_data, (a, b), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a, b: _sqsum(outer_last(a, b)),
+             rng.normal(size=(2, 3)), rng.normal(size=(2, 3))),
+    OpSample(lambda a, b: _sqsum(outer_last(a, b)),
+             rng.normal(size=(2, 3)), rng.normal(size=(2, 4))),
+])
 def outer_last(a, b):
     """Pairwise product over the last axis: ``out[..., i, j] = a[..., i] * b[..., j]``.
 
@@ -417,6 +683,11 @@ def outer_last(a, b):
 # Shape manipulation
 # ----------------------------------------------------------------------
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: _sqsum(reshape(a, (6,))), rng.normal(size=(2, 3))),
+    OpSample(lambda a: _sqsum(reshape(a, (3, 4))),
+             rng.normal(size=(2, 3, 2))),
+])
 def reshape(a, shape):
     """Reshape without copying data."""
     a = as_tensor(a)
@@ -429,6 +700,15 @@ def reshape(a, shape):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: _sqsum(transpose(a)), rng.normal(size=(2, 3))),
+    OpSample(lambda a: _sqsum(transpose(a, (1, 2, 0))),
+             rng.normal(size=(2, 3, 4))),
+    # negative axes must invert correctly (regression: argsort on raw
+    # negative axes produced a wrong inverse permutation)
+    OpSample(lambda a: _sqsum(transpose(a, (0, -1, 1))),
+             rng.normal(size=(2, 3, 4))),
+])
 def transpose(a, axes=None):
     """Permute axes (full reverse by default, like ``ndarray.T``)."""
     a = as_tensor(a)
@@ -436,7 +716,8 @@ def transpose(a, axes=None):
     if axes is None:
         inverse = None
     else:
-        inverse = np.argsort(axes)
+        # Normalize negative axes before inverting the permutation.
+        inverse = np.argsort([ax % a.ndim for ax in axes])
 
     def backward(grad):
         if a.requires_grad:
@@ -446,6 +727,11 @@ def transpose(a, axes=None):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: _sqsum(swapaxes(a, 0, 2)), rng.normal(size=(2, 3, 4))),
+    OpSample(lambda a: _sqsum(swapaxes(a, -1, -2)),
+             rng.normal(size=(2, 3, 4))),
+])
 def swapaxes(a, axis1, axis2):
     """Swap two axes."""
     a = as_tensor(a)
@@ -458,6 +744,16 @@ def swapaxes(a, axis1, axis2):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: _sqsum(getitem(a, (slice(1, None), slice(None, 2)))),
+             rng.normal(size=(3, 4))),
+    OpSample(lambda a: _sqsum(getitem(a, (slice(None), slice(None, None, -1)))),
+             rng.normal(size=(3, 4))),
+    OpSample(lambda a: _sqsum(getitem(a, np.array([0, 2, 2]))),
+             rng.normal(size=(3, 4))),
+    OpSample(lambda a: _sqsum(getitem(a, np.array([True, False, True]))),
+             rng.normal(size=(3, 4))),
+])
 def getitem(a, index):
     """Basic and advanced indexing; gradients scatter-add back."""
     a = as_tensor(a)
@@ -472,6 +768,13 @@ def getitem(a, index):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a, b: _sqsum(concat([a, b], axis=1)),
+             rng.normal(size=(2, 3)), rng.normal(size=(2, 2))),
+    OpSample(lambda a, b, c: _sqsum(concat([a, b, c], axis=-1)),
+             rng.normal(size=(2, 1)), rng.normal(size=(2, 2)),
+             rng.normal(size=(2, 3))),
+])
 def concat(tensors, axis=-1):
     """Concatenate tensors along an axis."""
     tensors = [as_tensor(t) for t in tensors]
@@ -489,6 +792,12 @@ def concat(tensors, axis=-1):
     return Tensor._make(out_data, tuple(tensors), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a, b: _sqsum(stack([a, b], axis=1)),
+             rng.normal(size=(2, 3)), rng.normal(size=(2, 3))),
+    OpSample(lambda a, b: _sqsum(stack([a, b], axis=-1)),
+             rng.normal(size=(2, 3)), rng.normal(size=(2, 3))),
+])
 def stack(tensors, axis=0):
     """Stack tensors along a new axis."""
     tensors = [as_tensor(t) for t in tensors]
@@ -503,6 +812,19 @@ def stack(tensors, axis=0):
     return Tensor._make(out_data, tuple(tensors), backward)
 
 
+def _split_weighted(a, sections, axis):
+    parts = split(a, sections, axis=axis)
+    total = None
+    for i, part in enumerate(parts):
+        term = mul(float(i + 1), _sqsum(part))
+        total = term if total is None else add(total, term)
+    return total
+
+
+@differentiable(lambda rng: [
+    OpSample(lambda a: _split_weighted(a, 3, -1), rng.normal(size=(2, 6))),
+    OpSample(lambda a: _split_weighted(a, 2, 0), rng.normal(size=(4, 3))),
+])
 def split(a, sections, axis=-1):
     """Split into equal sections along an axis; returns a list of tensors."""
     a = as_tensor(a)
@@ -518,6 +840,11 @@ def split(a, sections, axis=-1):
     return outs
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: _sqsum(pad_last(a, 1, 2)), rng.normal(size=(2, 3))),
+    OpSample(lambda a: _sqsum(pad_last(a, 0, 1, value=0.7)),
+             rng.normal(size=(3,))),
+])
 def pad_last(a, before, after, value=0.0):
     """Pad the last axis with a constant value."""
     a = as_tensor(a)
@@ -536,6 +863,11 @@ def pad_last(a, before, after, value=0.0):
 # Softmax family
 # ----------------------------------------------------------------------
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(mul(softmax(a, axis=-1), np.arange(4.0))),
+             rng.normal(size=(3, 4))),
+    OpSample(lambda a: _sqsum(softmax(a, axis=0)), rng.normal(size=(3, 4))),
+])
 def softmax(a, axis=-1):
     """Numerically stable softmax along ``axis``."""
     a = as_tensor(a)
@@ -551,6 +883,12 @@ def softmax(a, axis=-1):
     return Tensor._make(out_data, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda a: sum(mul(log_softmax(a, axis=-1), np.arange(4.0))),
+             rng.normal(size=(2, 4))),
+    OpSample(lambda a: _sqsum(log_softmax(a, axis=0)),
+             rng.normal(size=(3, 2))),
+])
 def log_softmax(a, axis=-1):
     """Numerically stable log-softmax along ``axis``."""
     a = as_tensor(a)
@@ -570,6 +908,12 @@ def log_softmax(a, axis=-1):
 # Misc
 # ----------------------------------------------------------------------
 
+@differentiable(lambda rng: [
+    # a freshly seeded generator inside the build keeps the mask identical
+    # across the repeated evaluations of finite differencing
+    OpSample(lambda a: sum(dropout_mask(a, 0.4, np.random.default_rng(3))),
+             rng.normal(size=(4, 5))),
+])
 def dropout_mask(a, rate, rng):
     """Apply inverted dropout with drop probability ``rate``.
 
@@ -588,6 +932,12 @@ def dropout_mask(a, rate, rng):
     return Tensor._make(a.data * mask, (a,), backward)
 
 
+@differentiable(lambda rng: [
+    OpSample(lambda t: _sqsum(embedding_lookup(t, np.array([[0, 1], [2, 0]]))),
+             rng.normal(size=(3, 5))),
+    OpSample(lambda t: sum(embedding_lookup(t, np.array([1, 1, 1]))),
+             rng.normal(size=(2, 4))),
+])
 def embedding_lookup(table, indices):
     """Gather rows of a 2-D embedding ``table`` by integer ``indices``."""
     table = as_tensor(table)

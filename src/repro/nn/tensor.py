@@ -29,6 +29,23 @@ __all__ = ["Tensor", "unbroadcast", "as_tensor", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
 
+# Active anomaly-detection state, managed by repro.nn.debug.detect_anomaly.
+# When not None, every op output and every backward gradient is scanned for
+# NaN/Inf and the offending op is reported by name.
+_ANOMALY_STATE = None
+
+
+def _op_name_of(backward):
+    """Op-name tag derived from a backward closure's qualified name.
+
+    Every op defines its closure as ``def backward(grad)`` inside the op
+    function, so ``add.<locals>.backward`` tags the node as ``"add"`` —
+    a zero-maintenance label for anomaly reports and graph audits.
+    """
+    if backward is None:
+        return None
+    return backward.__qualname__.split(".", 1)[0]
+
 
 class no_grad:
     """Context manager that disables graph construction.
@@ -103,7 +120,8 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_op", "name")
 
     def __init__(self, data, requires_grad=False, _parents=(), _backward=None):
         self.data = _coerce(data)
@@ -111,6 +129,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._parents = _parents
         self._backward = _backward
+        self._op = None
         self.name = None
 
     # ------------------------------------------------------------------
@@ -150,13 +169,26 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph machinery
     # ------------------------------------------------------------------
+    @property
+    def op_name(self):
+        """Name of the op that produced this tensor (``None`` for leaves)."""
+        if self._op is not None:
+            return self._op
+        return _op_name_of(self._backward)
+
     @staticmethod
     def _make(data, parents, backward):
         """Create an op output, respecting the global no_grad switch."""
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
-            return Tensor(data, requires_grad=True, _parents=tuple(parents),
-                          _backward=backward)
-        return Tensor(data)
+            out = Tensor(data, requires_grad=True, _parents=tuple(parents),
+                         _backward=backward)
+        else:
+            out = Tensor(data)
+        if _ANOMALY_STATE is not None:
+            out._op = _op_name_of(backward)
+            from . import debug
+            debug._on_forward(out, parents, out._op)
+        return out
 
     def _accumulate(self, grad):
         if self.grad is None:
@@ -210,10 +242,17 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
+        if _ANOMALY_STATE is not None:
+            from . import debug
+            debug._check_seed_grad(self, grad)
+
         self._accumulate(grad)
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                if _ANOMALY_STATE is not None:
+                    from . import debug
+                    debug._on_backward(node)
                 # Free intermediate gradients and graph references eagerly:
                 # leaves (parameters / inputs) have no _backward and keep theirs.
                 node.grad = None

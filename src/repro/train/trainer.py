@@ -69,11 +69,18 @@ class Trainer:
         Optional callable ``optimizer -> scheduler``; the scheduler's
         ``step`` is called once per epoch with the validation loss (e.g.
         ``lambda opt: nn.schedules.ReduceOnPlateau(opt)``).
+    anomaly_mode:
+        Run every training step under
+        :class:`repro.nn.debug.detect_anomaly`, so the first NaN/Inf in
+        any forward value or gradient raises immediately naming the
+        offending op (CLI: ``--debug-anomaly``).  Independent of this
+        flag, a non-finite training loss always aborts the run instead
+        of silently training on garbage.
     """
 
     def __init__(self, model, task, lr=1e-3, batch_size=64, max_epochs=20,
                  patience=4, clip_norm=5.0, seed=0, monitor="auc_pr",
-                 num_classes=1, scheduler_factory=None):
+                 num_classes=1, scheduler_factory=None, anomaly_mode=False):
         if num_classes > 1 and monitor == "auc_pr":
             monitor = "loss"
         if monitor not in ("auc_pr", "loss"):
@@ -86,6 +93,7 @@ class Trainer:
         self.patience = patience
         self.clip_norm = clip_norm
         self.monitor = monitor
+        self.anomaly_mode = anomaly_mode
         self.optimizer = nn.Adam(model.parameters(), lr=lr)
         self.scheduler = (scheduler_factory(self.optimizer)
                           if scheduler_factory is not None else None)
@@ -106,20 +114,22 @@ class Trainer:
         for epoch in range(self.max_epochs):
             self.model.train()
             epoch_losses = []
-            for batch, labels in iterate_batches(train, self.task,
-                                                 self.batch_size, self._rng):
+            for batch_index, (batch, labels) in enumerate(
+                    iterate_batches(train, self.task,
+                                    self.batch_size, self._rng)):
                 started = time.perf_counter()
                 self.optimizer.zero_grad()
-                logits = self.model.forward_batch(batch)
-                if self.num_classes > 1:
-                    loss = cross_entropy(logits, labels.astype(int))
-                else:
-                    loss = bce_with_logits(logits, labels.astype(float))
-                loss.backward()
+                loss_value = self._train_step(batch, labels)
+                if not np.isfinite(loss_value):
+                    raise nn.AnomalyError(
+                        f"non-finite training loss ({loss_value}) at epoch "
+                        f"{epoch}, batch {batch_index}; aborting instead of "
+                        f"training on garbage — rerun with anomaly_mode=True "
+                        f"(CLI: --debug-anomaly) to pinpoint the op")
                 nn.clip_grad_norm(self.model.parameters(), self.clip_norm)
                 self.optimizer.step()
                 batch_times.append(time.perf_counter() - started)
-                epoch_losses.append(loss.item())
+                epoch_losses.append(loss_value)
 
             history.train_loss.append(float(np.mean(epoch_losses)))
             val_metrics = self.evaluate(validation)
@@ -149,6 +159,29 @@ class Trainer:
         history.seconds_per_batch = float(np.mean(batch_times)) if batch_times else 0.0
         history.prediction_seconds_per_sample = self._time_prediction(validation)
         return history
+
+    # ------------------------------------------------------------------
+    def _train_step(self, batch, labels):
+        """Forward + backward for one minibatch; returns the loss value.
+
+        Under ``anomaly_mode`` the whole step runs inside
+        :class:`~repro.nn.debug.detect_anomaly`, so the first NaN/Inf
+        raises at the op that produced it rather than surfacing later as
+        a garbage loss.
+        """
+        if self.anomaly_mode:
+            with nn.detect_anomaly():
+                return self._forward_backward(batch, labels)
+        return self._forward_backward(batch, labels)
+
+    def _forward_backward(self, batch, labels):
+        logits = self.model.forward_batch(batch)
+        if self.num_classes > 1:
+            loss = cross_entropy(logits, labels.astype(int))
+        else:
+            loss = bce_with_logits(logits, labels.astype(float))
+        loss.backward()
+        return loss.item()
 
     # ------------------------------------------------------------------
     def predict_proba(self, dataset):

@@ -10,44 +10,18 @@ from repro.data import (SyntheticEMRGenerator, build_dataset,
                         train_val_test_split)
 
 
-def numeric_gradient(fn, arrays, eps=1e-6):
-    """Central finite differences of a scalar function of numpy arrays."""
-    grads = []
-    for target in arrays:
-        grad = np.zeros_like(target)
-        flat = target.reshape(-1)
-        grad_flat = grad.reshape(-1)
-        for i in range(flat.size):
-            original = flat[i]
-            flat[i] = original + eps
-            upper = fn()
-            flat[i] = original - eps
-            lower = fn()
-            flat[i] = original
-            grad_flat[i] = (upper - lower) / (2 * eps)
-        grads.append(grad)
-    return grads
+# Finite-difference machinery now lives in the library itself
+# (repro.nn.gradcheck); the test suite consumes it like any other user.
+from repro.nn.gradcheck import numeric_gradient  # noqa: F401 (re-export)
 
 
 def assert_gradcheck(build_fn, *arrays, tol=2e-5):
     """Compare autodiff gradients with finite differences.
 
-    ``build_fn(*tensors)`` must return a scalar Tensor; ``arrays`` are the
-    numpy inputs (mutated in place during differencing, restored after).
+    Thin wrapper over :func:`repro.nn.gradcheck.gradcheck` keeping the
+    historical ``tol`` (absolute tolerance) signature.
     """
-    tensors = [nn.Tensor(a, requires_grad=True) for a in arrays]
-    out = build_fn(*tensors)
-    out.backward()
-
-    def evaluate():
-        fresh = [nn.Tensor(a) for a in arrays]
-        return build_fn(*fresh).item()
-
-    numeric = numeric_gradient(evaluate, list(arrays))
-    for tensor, expected in zip(tensors, numeric):
-        assert tensor.grad is not None, "missing gradient"
-        error = np.abs(tensor.grad - expected).max()
-        assert error < tol, f"gradient mismatch: max abs error {error}"
+    nn.gradcheck.gradcheck(build_fn, *arrays, atol=tol, rtol=0.0)
 
 
 @pytest.fixture(scope="session")

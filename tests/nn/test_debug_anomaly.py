@@ -1,0 +1,173 @@
+"""Tests for the anomaly-detection and graph-audit subsystem."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import ops
+from repro.nn.debug import (AnomalyError, GraphAuditError, audit_backward,
+                            detect_anomaly, graph_path)
+from repro.nn.tensor import Tensor
+import repro.nn.tensor as tensor_mod
+
+
+class TestForwardAnomaly:
+    def test_nan_pinpoints_offending_op_by_name(self):
+        """Acceptance criterion: the error names the first op that
+        produced a NaN, not just 'something went wrong'."""
+        x = Tensor(np.array([0.5, 2.0]), requires_grad=True)
+        three = Tensor(np.array([3.0, 3.0]))
+        with pytest.raises(AnomalyError, match=r"op 'log'"):
+            with detect_anomaly(), np.errstate(invalid="ignore"):
+                # exp(x) - 3 is negative for x = 0.5 -> log produces NaN.
+                ops.log(ops.sub(ops.exp(x), three))
+
+    def test_inf_pinpoints_div(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([1.0, 0.0]))
+        with pytest.raises(AnomalyError, match=r"op 'div'.*Inf"):
+            with detect_anomaly(), np.errstate(divide="ignore"):
+                ops.div(a, b)
+
+    def test_error_includes_graph_path(self):
+        x = Tensor(np.array([0.5]), requires_grad=True)
+        three = Tensor(np.array([3.0]))
+        with pytest.raises(AnomalyError, match=r"log <- sub <- exp"):
+            with detect_anomaly(), np.errstate(invalid="ignore"):
+                ops.log(ops.sub(ops.exp(x), three))
+
+    def test_healthy_graph_raises_nothing(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)),
+                   requires_grad=True)
+        with detect_anomaly():
+            loss = ops.sum(ops.sigmoid(ops.tanh(x)))
+            loss.backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_state_restored_after_exception(self):
+        from repro.nn.debug import anomaly_enabled
+        x = Tensor(np.array([-1.0]))
+        with pytest.raises(AnomalyError):
+            with detect_anomaly(), np.errstate(invalid="ignore"):
+                ops.log(x)
+        assert not anomaly_enabled()
+        assert tensor_mod._ANOMALY_STATE is None
+        # And NaNs pass silently again outside the context.
+        with np.errstate(invalid="ignore"):
+            out = ops.log(x)
+        assert np.isnan(out.data).all()
+
+
+class TestBackwardAnomaly:
+    def test_inf_gradient_pinpoints_sqrt(self):
+        # sqrt(0) is finite forward but its backward 1/(2 sqrt(0)) is Inf.
+        x = Tensor(np.array([0.0, 4.0]), requires_grad=True)
+        with pytest.raises(AnomalyError, match=r"op 'sqrt'"):
+            with detect_anomaly(check_forward=False), \
+                    np.errstate(divide="ignore"):
+                ops.sum(ops.sqrt(x)).backward()
+
+    def test_non_finite_seed_rejected(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        out = ops.mul(x, x)
+        with pytest.raises(AnomalyError, match="seed"):
+            with detect_anomaly():
+                out.backward(np.array([np.nan]))
+
+
+class TestOpNames:
+    def test_op_name_recorded_under_anomaly_mode(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0]))
+        with detect_anomaly():
+            out = ops.mul(a, b)
+        assert out.op_name == "mul"
+
+    def test_op_name_derivable_without_anomaly_mode(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = ops.exp(a)
+        assert out.op_name == "exp"
+
+    def test_leaf_has_no_op_name(self):
+        assert Tensor(np.array([1.0])).op_name is None
+
+    def test_graph_path_renders_chain(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        out = ops.log(ops.exp(ops.mul(x, x)))
+        assert graph_path(out) == "log <- exp <- mul <- leaf"
+
+
+class TestAuditBackward:
+    def _diamond(self):
+        # x -> (square, exp) -> add : interior nodes shared by two paths.
+        x = Tensor(np.array([0.3, -0.7]), requires_grad=True)
+        left = ops.mul(x, x)
+        right = ops.exp(x)
+        out = ops.sum(ops.add(left, right))
+        return x, out
+
+    def test_healthy_diamond_passes(self):
+        x, out = self._diamond()
+        audit = audit_backward(out)
+        assert audit.num_interior == 4
+        assert audit.num_leaves == 1
+        assert set(audit.visits.values()) == {1}
+        np.testing.assert_allclose(x.grad, 2 * x.data + np.exp(x.data))
+
+    def test_each_node_visited_exactly_once(self):
+        _, out = self._diamond()
+        audit = audit_backward(out)
+        assert all(count == 1 for count in audit.visits.values()), audit.visits
+
+    def test_catches_double_invocation(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = ops.mul(x, x)
+        z = ops.exp(y)
+        # Sabotage: z's backward also re-runs y's backward, double-counting.
+        original_z_backward = z._backward
+
+        def double_visit(grad):
+            original_z_backward(grad)
+            y._backward(np.ones_like(y.data))
+
+        z._backward = double_visit
+        with pytest.raises(GraphAuditError, match="invoked 2 times"):
+            audit_backward(z)
+
+    def test_catches_accumulation_into_frozen_tensor(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        frozen = Tensor(np.array([3.0]))  # requires_grad=False
+
+        def bad_backward(grad):
+            x._accumulate(grad * frozen.data)
+            frozen._accumulate(grad * x.data)  # must be caught
+
+        out = Tensor._make(x.data * frozen.data, (x, frozen), bad_backward)
+        assert out.requires_grad
+        with pytest.raises(GraphAuditError,
+                           match="requires_grad=False"):
+            audit_backward(out)
+
+    def test_audit_restores_accumulate_after_failure(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        frozen = Tensor(np.array([3.0]))
+
+        def bad_backward(grad):
+            frozen._accumulate(grad)
+
+        out = Tensor._make(x.data * 2.0, (x, frozen), bad_backward)
+        with pytest.raises(GraphAuditError):
+            audit_backward(out)
+        # The class-level patch must not leak into normal operation.
+        y = Tensor(np.array([1.0]), requires_grad=True)
+        ops.sum(ops.mul(y, y)).backward()
+        np.testing.assert_allclose(y.grad, 2.0)
+
+    def test_audit_works_on_module_loss(self):
+        rng = np.random.default_rng(3)
+        layer = nn.layers.Dense(4, 2, rng, activation="tanh")
+        x = Tensor(rng.normal(size=(3, 4)))
+        loss = ops.sum(ops.mul(layer(x), layer(x)))
+        audit = audit_backward(loss)
+        assert audit.num_interior > 0
+        assert set(audit.visits.values()) == {1}

@@ -239,3 +239,54 @@ def test_softmax_rows_sum_to_one(cols, rows):
     out = ops.softmax(x, axis=-1).data
     assert np.allclose(out.sum(axis=-1), 1.0)
     assert (out >= 0).all()
+
+
+class TestBackwardRegressions:
+    """Regression tests for backward bugs surfaced by the registry sweep."""
+
+    def test_maximum_splits_gradient_at_exact_ties(self):
+        # Winner-take-all at a tie disagrees with central differences
+        # (the subgradient must be split 0.5/0.5); this was a real bug.
+        from repro import nn
+        a = nn.Tensor(np.array([1.0, 2.0, -3.0]), requires_grad=True)
+        b = nn.Tensor(np.array([1.0, 0.5, -3.0]), requires_grad=True)
+        ops.sum(ops.maximum(a, b)).backward()
+        np.testing.assert_allclose(a.grad, [0.5, 1.0, 0.5])
+        np.testing.assert_allclose(b.grad, [0.5, 0.0, 0.5])
+
+    def test_minimum_splits_gradient_at_exact_ties(self):
+        from repro import nn
+        a = nn.Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = nn.Tensor(np.array([1.0, 0.5]), requires_grad=True)
+        ops.sum(ops.minimum(a, b)).backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.0])
+        np.testing.assert_allclose(b.grad, [0.5, 1.0])
+
+    def test_tied_maximum_matches_finite_differences(self):
+        a = np.array([0.7, -1.2, 0.0])
+        assert_gradcheck(lambda x, y: ops.sum(ops.maximum(x, y)),
+                         a, a.copy())
+
+    def test_power_zero_exponent_has_zero_grad_at_zero_base(self):
+        # d/dx x**0 = 0 everywhere; the generic 0 * x**-1 formula emitted
+        # NaN at x = 0.
+        from repro import nn
+        x = nn.Tensor(np.array([0.0, 2.0, -1.5]), requires_grad=True)
+        ops.sum(ops.power(x, 0.0)).backward()
+        np.testing.assert_allclose(x.grad, 0.0)
+
+    def test_transpose_negative_axes_gradcheck(self):
+        # The inverse permutation was computed from the raw (negative)
+        # axes, scattering gradients to the wrong positions.
+        assert_gradcheck(
+            lambda a: ((ops.transpose(a, (0, -1, 1))
+                        * np.arange(24.0).reshape(2, 4, 3)) ** 2).sum(),
+            _rand(2, 3, 4))
+
+    def test_transpose_negative_axes_roundtrip_grad(self):
+        from repro import nn
+        x = nn.Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        weights = np.arange(6.0).reshape(3, 2)
+        ops.sum(ops.mul(ops.transpose(x, (-1, -2)),
+                        nn.Tensor(weights))).backward()
+        np.testing.assert_allclose(x.grad, weights.T)

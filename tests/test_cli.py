@@ -28,6 +28,15 @@ class TestParser:
             ["compare", "--models", "LR", "FM"])
         assert args.models == ["LR", "FM"]
 
+    def test_debug_anomaly_defaults_off(self):
+        args = build_parser().parse_args(["train", "--model", "LR"])
+        assert args.debug_anomaly is False
+
+    def test_debug_anomaly_parses(self):
+        args = build_parser().parse_args(
+            ["--debug-anomaly", "train", "--model", "LR"])
+        assert args.debug_anomaly is True
+
 
 class TestCommands:
     def test_stats_prints_all_splits(self):
@@ -56,6 +65,36 @@ class TestCommands:
         text = out.getvalue()
         assert code == 0
         assert "LR" in text and "FM" in text and "AUC-PR" in text
+
+
+class TestAnomalyPlumbing:
+    def test_debug_anomaly_reaches_the_trainer(self, monkeypatch):
+        """--debug-anomaly must plumb through to Trainer(anomaly_mode=...)."""
+        import types
+
+        import repro.train
+
+        captured = {}
+
+        class RecordingTrainer:
+            def __init__(self, model, task, **kwargs):
+                captured.update(kwargs, task=task)
+
+            def fit(self, train, validation):
+                return types.SimpleNamespace(num_epochs=0, best_epoch=-1)
+
+            def evaluate(self, dataset):
+                return {"bce": 0.0, "auc_roc": 0.5, "auc_pr": 0.5}
+
+        monkeypatch.setattr(repro.train, "Trainer", RecordingTrainer)
+        code = main(["--debug-anomaly", "train", "--model", "LR"],
+                    out=io.StringIO())
+        assert code == 0
+        assert captured["anomaly_mode"] is True
+
+        captured.clear()
+        main(["train", "--model", "LR"], out=io.StringIO())
+        assert captured["anomaly_mode"] is False
 
 
 class TestInterpretParser:

@@ -1,0 +1,85 @@
+"""Trainer behaviour on non-finite losses and in anomaly mode."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import LogisticRegression
+from repro.data import NUM_FEATURES
+from repro.train import Trainer
+
+
+class NaNLogits(nn.Module):
+    """A model whose single parameter is already NaN, so the first
+    forward pass produces non-finite logits."""
+
+    def __init__(self):
+        super().__init__()
+        self.weight = nn.Parameter(np.array([np.nan]))
+
+    def forward_batch(self, batch):
+        pooled = nn.Tensor(batch.values.mean(axis=(1, 2)))
+        return pooled * self.weight
+
+
+class TestNaNLossAbort:
+    def test_fit_aborts_on_non_finite_loss(self, tiny_splits):
+        trainer = Trainer(NaNLogits(), "mortality", max_epochs=2,
+                          batch_size=16)
+        with pytest.raises(nn.AnomalyError,
+                           match="non-finite training loss"):
+            trainer.fit(tiny_splits.train, tiny_splits.validation)
+
+    def test_abort_message_points_at_debug_flag(self, tiny_splits):
+        trainer = Trainer(NaNLogits(), "mortality", max_epochs=1,
+                          batch_size=16)
+        with pytest.raises(nn.AnomalyError, match="--debug-anomaly"):
+            trainer.fit(tiny_splits.train, tiny_splits.validation)
+
+    def test_abort_happens_before_weights_are_updated(self, tiny_splits):
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(0))
+        first = next(iter(model.parameters()))
+        first.data[...] = np.nan  # poison -> first loss is non-finite
+        snapshots = {name: p.data.copy()
+                     for name, p in model.named_parameters()}
+        trainer = Trainer(model, "mortality", max_epochs=1, batch_size=16)
+        with pytest.raises(nn.AnomalyError):
+            trainer.fit(tiny_splits.train, tiny_splits.validation)
+        for name, p in model.named_parameters():
+            np.testing.assert_array_equal(
+                np.isnan(p.data), np.isnan(snapshots[name]))
+            finite = np.isfinite(snapshots[name])
+            np.testing.assert_array_equal(p.data[finite],
+                                          snapshots[name][finite])
+
+
+class TestAnomalyMode:
+    def test_anomaly_mode_pinpoints_the_forward_op(self, tiny_splits):
+        trainer = Trainer(NaNLogits(), "mortality", max_epochs=1,
+                          batch_size=16, anomaly_mode=True)
+        with pytest.raises(nn.AnomalyError, match=r"forward pass: op '"):
+            trainer.fit(tiny_splits.train, tiny_splits.validation)
+
+    def test_without_anomaly_mode_only_loss_guard_fires(self, tiny_splits):
+        trainer = Trainer(NaNLogits(), "mortality", max_epochs=1,
+                          batch_size=16, anomaly_mode=False)
+        with pytest.raises(nn.AnomalyError) as excinfo:
+            trainer.fit(tiny_splits.train, tiny_splits.validation)
+        assert "non-finite training loss" in str(excinfo.value)
+        assert "forward pass" not in str(excinfo.value)
+
+    def test_healthy_model_trains_under_anomaly_mode(self, tiny_splits):
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(1))
+        trainer = Trainer(model, "mortality", max_epochs=1, batch_size=32,
+                          anomaly_mode=True)
+        history = trainer.fit(tiny_splits.train, tiny_splits.validation)
+        assert history.num_epochs == 1
+        assert np.isfinite(history.train_loss).all()
+
+    def test_anomaly_state_is_scoped_to_the_train_step(self, tiny_splits):
+        from repro.nn.debug import anomaly_enabled
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(2))
+        trainer = Trainer(model, "mortality", max_epochs=1, batch_size=32,
+                          anomaly_mode=True)
+        trainer.fit(tiny_splits.train, tiny_splits.validation)
+        assert not anomaly_enabled()
