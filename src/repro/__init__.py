@@ -20,9 +20,9 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-from . import baselines, core, data, experiments, metrics, nn, train
+from . import baselines, bench, core, data, experiments, metrics, nn, train
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "data", "core", "baselines", "metrics", "train",
+__all__ = ["nn", "data", "core", "baselines", "bench", "metrics", "train",
            "experiments", "__version__"]

@@ -46,8 +46,7 @@ class PerFeatureGRU(Module):
         batch, steps, _ = values.shape
         # State laid out (C, B, H) so the stacked matmul batches over C.
         h = nn.Tensor(np.zeros((self.num_features, batch, self.hidden_size)))
-        for t in range(steps):
-            x_t = values[:, t, :]                        # (B, C)
+        for x_t in ops.unbind_time(values):              # each (B, C)
             x_t = x_t.transpose().reshape(self.num_features, batch, 1)
             gates_x = ops.matmul(x_t, self.w_ih) + self.bias.reshape(
                 self.num_features, 1, 3 * self.hidden_size)

@@ -51,12 +51,15 @@ class GRUD(Module):
         batch_size, steps, _ = values.shape
 
         h = nn.Tensor(np.zeros((batch_size, self.hidden_size)))
+        value_steps = ops.unbind_time(values)
+        delta_steps = ops.unbind_time(deltas)
         for t in range(steps):
-            delta_t = deltas[:, t, :]
+            delta_t = delta_steps[t]
+            v_t = value_steps[t]
             m_t = nn.Tensor(mask[:, t, :])
             # Input decay toward the (zero) global mean.
             gamma_x = ops.exp(-ops.relu(delta_t * self.input_decay))
-            x_hat = m_t * values[:, t, :] + (1.0 - m_t) * gamma_x * values[:, t, :]
+            x_hat = m_t * v_t + (1.0 - m_t) * gamma_x * v_t
             # Hidden-state decay.
             gamma_h = ops.exp(-ops.relu(
                 ops.matmul(delta_t, self.hidden_decay_w) + self.hidden_decay_b))

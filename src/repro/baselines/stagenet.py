@@ -49,8 +49,7 @@ class StageNet(Module):
         h = nn.Tensor(np.zeros((batch_size, self.hidden_size)))
         c = nn.Tensor(np.zeros((batch_size, self.hidden_size)))
         states = []
-        for t in range(steps):
-            x_t = values[:, t, :]
+        for x_t in ops.unbind_time(values):
             h, c = self.cell(x_t, (h, c))
             # Stage progression gate: how much the disease stage advanced.
             stage = self.stage_gate(ops.concat([h, x_t], axis=-1))  # (B,1)

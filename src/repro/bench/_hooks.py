@@ -1,0 +1,115 @@
+"""Low-level instrumentation hooks shared by the op layer and the profiler.
+
+This module is the *only* coupling point between :mod:`repro.nn` and
+:mod:`repro.bench`: the ``@differentiable`` wrapper in
+:mod:`repro.nn.ops` and the backward loop in :mod:`repro.nn.tensor`
+check :data:`_PROFILERS` (a module-level stack of active profilers) and,
+when non-empty, route op execution through :func:`call_op` /
+:func:`call_backward` so every event is timed and attributed.
+
+It deliberately imports nothing from ``repro.nn`` so that
+``ops``/``tensor`` can import it at module load without a cycle, and the
+fast path when no profiler is active is a single truthiness check on a
+module-level list.
+
+Self-time accounting
+--------------------
+Registered ops may call other registered ops (``min`` is ``neg∘max∘neg``,
+``split`` emits one ``getitem`` per section).  :data:`_FRAMES` is a stack
+of per-call frames; each frame accumulates the inclusive time of its
+*child* op calls, so an op's **self** time is its inclusive time minus
+its children's — self times therefore sum to (at most) the profiled wall
+time instead of double-counting nested work.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["active", "push", "pop", "call_op", "call_backward"]
+
+#: Stack of active :class:`repro.bench.Profiler` objects, innermost last.
+#: Every event is recorded once in *each* active profiler, so nested
+#: ``profile()`` contexts each see the ops executed inside them exactly
+#: once (the outer context includes the inner one's ops, not twice).
+_PROFILERS = []
+
+#: Stack of op-call frames; ``frame[0]`` accumulates child inclusive time.
+_FRAMES = []
+
+
+def active():
+    """Whether any profiler is currently recording."""
+    return bool(_PROFILERS)
+
+
+def push(profiler):
+    """Activate ``profiler`` (innermost position)."""
+    _PROFILERS.append(profiler)
+
+
+def pop(profiler):
+    """Deactivate ``profiler``; contexts must exit innermost-first."""
+    if not _PROFILERS or _PROFILERS[-1] is not profiler:
+        raise RuntimeError("profile() contexts must be exited "
+                           "innermost-first")
+    _PROFILERS.pop()
+
+
+def _result_nbytes(result):
+    """Bytes allocated for an op result (tensor, or list of tensors)."""
+    data = getattr(result, "data", None)
+    if data is not None:
+        return int(data.nbytes)
+    if isinstance(result, (list, tuple)):
+        return sum(_result_nbytes(item) for item in result)
+    return 0
+
+
+def _result_requires_grad(result):
+    if isinstance(result, (list, tuple)):
+        return any(_result_requires_grad(item) for item in result)
+    return bool(getattr(result, "requires_grad", False))
+
+
+def call_op(name, fn, args, kwargs):
+    """Execute a registered op's forward under timing instrumentation."""
+    frame = [0.0]
+    _FRAMES.append(frame)
+    started = perf_counter()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        elapsed = perf_counter() - started
+        _FRAMES.pop()
+        if _FRAMES:
+            _FRAMES[-1][0] += elapsed
+    self_seconds = elapsed - frame[0]
+    nbytes = _result_nbytes(result)
+    requires_grad = _result_requires_grad(result)
+    for profiler in _PROFILERS:
+        profiler._record_forward(name, elapsed, self_seconds, nbytes,
+                                 requires_grad)
+    return result
+
+
+def call_backward(name, backward, grad):
+    """Execute one node's backward closure under timing instrumentation.
+
+    ``name`` is the op tag of the node (derived from the closure's
+    qualified name, see ``repro.nn.tensor.Tensor.op_name``).
+    """
+    frame = [0.0]
+    _FRAMES.append(frame)
+    started = perf_counter()
+    try:
+        backward(grad)
+    finally:
+        elapsed = perf_counter() - started
+        _FRAMES.pop()
+        if _FRAMES:
+            _FRAMES[-1][0] += elapsed
+    nbytes = int(getattr(grad, "nbytes", 0))
+    for profiler in _PROFILERS:
+        profiler._record_backward(name or "<unnamed>", elapsed,
+                                  elapsed - frame[0], nbytes)

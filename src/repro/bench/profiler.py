@@ -1,0 +1,192 @@
+"""Per-op profiler over the ``@differentiable`` op registry.
+
+Usage::
+
+    from repro.bench import profile
+
+    with profile("train-step") as prof:
+        loss = model_loss(...)
+        loss.backward()
+    print(prof.table())
+    prof.save("BENCH_train_step")   # writes BENCH_train_step_<stamp>.json
+
+Every call to a registered primitive (see :mod:`repro.nn.ops`) records a
+*forward* event — call count, inclusive and self wall time, allocated
+output bytes — and every backward-closure invocation during
+``Tensor.backward`` records a *backward* event attributed to the op tag
+of the node being differentiated.  Forward and backward are accounted
+separately per op.
+
+Contexts nest: each active profiler sees every event exactly once, so an
+outer ``profile()`` includes an inner one's ops without double-counting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from time import perf_counter
+
+from . import _hooks
+
+__all__ = ["OpStat", "Profiler", "profile"]
+
+
+class OpStat:
+    """Aggregated forward/backward statistics for one op tag."""
+
+    __slots__ = ("name",
+                 "forward_calls", "forward_seconds", "forward_self_seconds",
+                 "forward_bytes",
+                 "backward_calls", "backward_seconds",
+                 "backward_self_seconds", "backward_bytes")
+
+    def __init__(self, name):
+        self.name = name
+        self.forward_calls = 0
+        self.forward_seconds = 0.0
+        self.forward_self_seconds = 0.0
+        self.forward_bytes = 0
+        self.backward_calls = 0
+        self.backward_seconds = 0.0
+        self.backward_self_seconds = 0.0
+        self.backward_bytes = 0
+
+    @property
+    def total_seconds(self):
+        """Inclusive forward + backward seconds."""
+        return self.forward_seconds + self.backward_seconds
+
+    def as_dict(self):
+        return {
+            "forward": {
+                "calls": self.forward_calls,
+                "seconds": self.forward_seconds,
+                "self_seconds": self.forward_self_seconds,
+                "bytes": self.forward_bytes,
+            },
+            "backward": {
+                "calls": self.backward_calls,
+                "seconds": self.backward_seconds,
+                "self_seconds": self.backward_self_seconds,
+                "bytes": self.backward_bytes,
+            },
+        }
+
+    def __repr__(self):
+        return (f"OpStat({self.name!r}, fwd={self.forward_calls}"
+                f"/{self.forward_seconds:.4f}s, bwd={self.backward_calls}"
+                f"/{self.backward_seconds:.4f}s)")
+
+
+class Profiler:
+    """Records per-op forward/backward events while active.
+
+    Use as a context manager (or via the :func:`profile` alias).  May be
+    re-entered; statistics accumulate across activations until
+    :meth:`reset`.
+    """
+
+    def __init__(self, label=None):
+        self.label = label
+        self.stats = OrderedDict()
+        self.wall_seconds = 0.0
+        #: Number of forward events whose output was wired into the
+        #: autodiff graph (``requires_grad=True``).  Zero under
+        #: ``no_grad`` — the eval-path test relies on this.
+        self.grad_graph_outputs = 0
+        self._entered_at = None
+
+    # -- context management -------------------------------------------
+    def __enter__(self):
+        _hooks.push(self)
+        self._entered_at = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        # Pop first: an out-of-order exit raises and must leave this
+        # profiler's accounting (and the stack) untouched.
+        _hooks.pop(self)
+        self.wall_seconds += perf_counter() - self._entered_at
+        self._entered_at = None
+        return False
+
+    # -- event sinks (called from repro.bench._hooks) ------------------
+    def _stat(self, name):
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = OpStat(name)
+        return stat
+
+    def _record_forward(self, name, seconds, self_seconds, nbytes,
+                        requires_grad):
+        stat = self._stat(name)
+        stat.forward_calls += 1
+        stat.forward_seconds += seconds
+        stat.forward_self_seconds += self_seconds
+        stat.forward_bytes += nbytes
+        if requires_grad:
+            self.grad_graph_outputs += 1
+
+    def _record_backward(self, name, seconds, self_seconds, nbytes):
+        stat = self._stat(name)
+        stat.backward_calls += 1
+        stat.backward_seconds += seconds
+        stat.backward_self_seconds += self_seconds
+        stat.backward_bytes += nbytes
+
+    # -- introspection -------------------------------------------------
+    def reset(self):
+        """Clear all recorded statistics."""
+        self.stats.clear()
+        self.wall_seconds = 0.0
+        self.grad_graph_outputs = 0
+
+    def op(self, name):
+        """The :class:`OpStat` for ``name`` (zeros if never recorded)."""
+        return self.stats.get(name, OpStat(name))
+
+    def forward_calls(self, name=None):
+        """Forward call count for one op, or the total over all ops."""
+        if name is not None:
+            return self.op(name).forward_calls
+        return sum(s.forward_calls for s in self.stats.values())
+
+    def backward_calls(self, name=None):
+        """Backward call count for one op, or the total over all ops."""
+        if name is not None:
+            return self.op(name).backward_calls
+        return sum(s.backward_calls for s in self.stats.values())
+
+    def total_self_seconds(self):
+        """Sum of forward + backward self time over all ops."""
+        return sum(s.forward_self_seconds + s.backward_self_seconds
+                   for s in self.stats.values())
+
+    def as_dict(self, extra=None):
+        """JSON-able representation (the ``BENCH_*.json`` payload)."""
+        payload = {
+            "schema": "repro.bench/v1",
+            "label": self.label,
+            "wall_seconds": self.wall_seconds,
+            "grad_graph_outputs": self.grad_graph_outputs,
+            "ops": {name: stat.as_dict()
+                    for name, stat in self.stats.items()},
+        }
+        if extra:
+            payload["extra"] = dict(extra)
+        return payload
+
+    def table(self, sort_by="total", limit=None):
+        """Render a sorted per-op table (delegates to repro.bench.report)."""
+        from .report import render_table
+        return render_table(self, sort_by=sort_by, limit=limit)
+
+    def save(self, directory=".", extra=None):
+        """Write ``BENCH_<label>_<stamp>.json`` (see repro.bench.report)."""
+        from .report import write_report
+        return write_report(self, directory=directory, extra=extra)
+
+
+def profile(label=None):
+    """Create a :class:`Profiler` — ``with profile() as prof: ...``."""
+    return Profiler(label=label)

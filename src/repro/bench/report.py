@@ -1,0 +1,106 @@
+"""Rendering and persistence of profiler results.
+
+``render_table`` prints the per-op statistics sorted by a chosen column;
+``write_report`` persists the same data as ``BENCH_<label>_<stamp>.json``
+so runs can be diffed over time (see docs/PERFORMANCE.md for the schema).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+
+__all__ = ["render_table", "write_report", "SORT_KEYS"]
+
+#: Column name -> key function over OpStat, used by ``--sort`` / table().
+SORT_KEYS = {
+    "total": lambda s: s.forward_seconds + s.backward_seconds,
+    "forward": lambda s: s.forward_seconds,
+    "backward": lambda s: s.backward_seconds,
+    "self": lambda s: s.forward_self_seconds + s.backward_self_seconds,
+    "calls": lambda s: s.forward_calls + s.backward_calls,
+    "bytes": lambda s: s.forward_bytes + s.backward_bytes,
+}
+
+_COLUMNS = ("op", "fwd calls", "fwd s", "fwd self s", "fwd MB",
+            "bwd calls", "bwd s", "bwd self s", "bwd MB")
+
+
+def render_table(profiler, sort_by="total", limit=None):
+    """Format a profiler's per-op statistics as an aligned text table.
+
+    Parameters
+    ----------
+    profiler:
+        A :class:`repro.bench.Profiler`.
+    sort_by:
+        One of :data:`SORT_KEYS` (descending).
+    limit:
+        Keep only the top ``limit`` rows (default: all).
+    """
+    if sort_by not in SORT_KEYS:
+        raise ValueError(f"sort_by must be one of {sorted(SORT_KEYS)}, "
+                         f"got {sort_by!r}")
+    stats = sorted(profiler.stats.values(), key=SORT_KEYS[sort_by],
+                   reverse=True)
+    if limit is not None:
+        stats = stats[:limit]
+    rows = [[
+        stat.name,
+        str(stat.forward_calls),
+        f"{stat.forward_seconds:.4f}",
+        f"{stat.forward_self_seconds:.4f}",
+        f"{stat.forward_bytes / 1e6:.2f}",
+        str(stat.backward_calls),
+        f"{stat.backward_seconds:.4f}",
+        f"{stat.backward_self_seconds:.4f}",
+        f"{stat.backward_bytes / 1e6:.2f}",
+    ] for stat in stats]
+    widths = [max(len(_COLUMNS[i]), *(len(r[i]) for r in rows), 1)
+              if rows else len(_COLUMNS[i]) for i in range(len(_COLUMNS))]
+    header = "  ".join(name.ljust(widths[i]) if i == 0 else
+                       name.rjust(widths[i])
+                       for i, name in enumerate(_COLUMNS))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) if i == 0 else
+                               cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    lines.append(f"(sorted by {sort_by}; wall {profiler.wall_seconds:.4f}s, "
+                 f"op self-time {profiler.total_self_seconds():.4f}s)")
+    return "\n".join(lines)
+
+
+def _slug(label):
+    cleaned = re.sub(r"[^A-Za-z0-9_.-]+", "-", label or "run").strip("-")
+    return cleaned or "run"
+
+
+def write_report(profiler, directory=".", extra=None, stamp=None):
+    """Write the profiler payload to ``BENCH_<label>_<stamp>.json``.
+
+    Parameters
+    ----------
+    profiler:
+        A :class:`repro.bench.Profiler`.
+    directory:
+        Destination directory (created if missing).
+    extra:
+        Optional mapping merged into the payload under ``"extra"`` —
+        the training runner records steps/sec and configuration here.
+    stamp:
+        Timestamp string override (defaults to local ``YYYYmmdd-HHMMSS``);
+        tests pass a fixed value for deterministic filenames.
+
+    Returns the written :class:`pathlib.Path`.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = stamp or time.strftime("%Y%m%d-%H%M%S")
+    path = directory / f"BENCH_{_slug(profiler.label)}_{stamp}.json"
+    payload = profiler.as_dict(extra=extra)
+    payload["created"] = stamp
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,105 @@
+"""End-to-end training benchmarks over a fixed synthetic cohort.
+
+This module is the measurement half of the performance subsystem: it
+trains a real model with the real :class:`~repro.train.Trainer` on a
+deterministic synthetic cohort, under the per-op profiler, and reports
+throughput (training steps/sec) plus the per-op breakdown.  The
+``repro bench`` CLI subcommand and the ``pytest -m bench`` perf-smoke
+lane are both thin wrappers over :func:`benchmark_training`.
+
+Imports of the model/training stack happen at module level here — this
+module must therefore never be imported from ``repro.bench.__init__``
+eagerly (it is exposed lazily), keeping the ``repro.nn -> repro.bench``
+hook import one-way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import build_model
+from ..data import NUM_FEATURES, SyntheticEMRGenerator, train_val_test_split
+from ..nn.layers import GRUCell
+from ..train import Trainer
+from .profiler import profile
+
+__all__ = ["benchmark_cohort", "benchmark_training", "set_fused"]
+
+
+def set_fused(model, fused):
+    """Switch every :class:`GRUCell` in ``model`` between the fused
+    kernel and the unfused reference composition; returns the number of
+    cells flipped."""
+    flipped = 0
+    for module in model.modules():
+        if isinstance(module, GRUCell):
+            module.fused = bool(fused)
+            flipped += 1
+    return flipped
+
+
+def benchmark_cohort(num_admissions=64, seed=0):
+    """A deterministic synthetic cohort for benchmarking (same seed, same
+    bytes — throughput numbers are comparable across runs)."""
+    generator = SyntheticEMRGenerator()
+    admissions = generator.sample_many(num_admissions,
+                                       np.random.default_rng(seed))
+    return train_val_test_split(admissions, np.random.default_rng(seed + 1))
+
+
+def benchmark_training(model_name="GRU", task="mortality", epochs=2,
+                       num_admissions=64, batch_size=32, seed=0,
+                       fused=True, with_profiler=True):
+    """Train ``model_name`` for ``epochs`` epochs and measure throughput.
+
+    Early stopping is disabled (patience > epochs) so every run performs
+    the same number of optimizer steps.
+
+    Returns a dict with:
+
+    ``steps_per_sec`` / ``seconds_per_batch``
+        Training throughput (forward + backward + clip + optimizer step,
+        averaged over all batches).
+    ``profiler``
+        The :class:`~repro.bench.Profiler` covering ``Trainer.fit``, or
+        ``None`` when ``with_profiler=False`` (the perf-smoke floor test
+        measures raw, uninstrumented speed).
+    ``history`` / ``model`` / ``config``
+        The training history, trained model, and the run configuration
+        (the latter is what ``repro bench`` persists under ``extra``).
+    """
+    splits = benchmark_cohort(num_admissions=num_admissions, seed=seed)
+    model = build_model(model_name, NUM_FEATURES,
+                        np.random.default_rng(seed))
+    flipped = set_fused(model, fused)
+    trainer = Trainer(model, task, batch_size=batch_size, max_epochs=epochs,
+                      patience=epochs + 1, seed=seed)
+
+    profiler = None
+    if with_profiler:
+        with profile(f"train-{model_name}") as profiler:
+            history = trainer.fit(splits.train, splits.validation)
+    else:
+        history = trainer.fit(splits.train, splits.validation)
+
+    seconds_per_batch = history.seconds_per_batch
+    config = {
+        "model": model_name,
+        "task": task,
+        "epochs": epochs,
+        "num_admissions": num_admissions,
+        "batch_size": batch_size,
+        "seed": seed,
+        "fused": bool(fused),
+        "gru_cells": flipped,
+        "num_parameters": model.num_parameters(),
+    }
+    return {
+        "steps_per_sec": (1.0 / seconds_per_batch
+                          if seconds_per_batch > 0 else float("inf")),
+        "seconds_per_batch": seconds_per_batch,
+        "profiler": profiler,
+        "history": history,
+        "model": model,
+        "config": config,
+    }

@@ -13,6 +13,10 @@ Subcommands
 ``interpret``
     Train ELDA-Net and print Patient A's feature-level attention grid at
     a chosen hour (the Figure 9 analysis).
+``bench``
+    Profile a training run with the per-op profiler (repro.bench), print
+    the sorted forward/backward timing table, and write a
+    ``BENCH_*.json`` report (see docs/PERFORMANCE.md).
 
 Every command accepts ``--scale {small,medium,paper}``; the default
 follows the ``REPRO_SCALE`` environment variable.
@@ -70,6 +74,28 @@ def build_parser():
         "interpret", help="print Patient A's attention grid")
     interpret.add_argument("--hour", type=int, default=13)
     interpret.add_argument("--epochs", type=int, default=None)
+
+    bench = commands.add_parser(
+        "bench", help="profile a training run per-op and write BENCH_*.json")
+    bench.add_argument("--model", default="GRU")
+    bench.add_argument("--task", default="mortality",
+                       choices=("mortality", "los"))
+    bench.add_argument("--epochs", type=int, default=2)
+    bench.add_argument("--admissions", type=int, default=64)
+    bench.add_argument("--batch-size", type=int, default=32)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--unfused", action="store_true",
+                       help="run the unfused reference GRU kernels "
+                       "(baseline for before/after comparisons)")
+    bench.add_argument("--sort", default="total",
+                       choices=("total", "forward", "backward", "self",
+                                "calls", "bytes"))
+    bench.add_argument("--top", type=int, default=15,
+                       help="rows to print (the JSON always has all ops)")
+    bench.add_argument("--out", default=".", metavar="DIR",
+                       help="directory for the BENCH_*.json report")
+    bench.add_argument("--no-json", action="store_true",
+                       help="print the table only, write no report")
 
     return parser
 
@@ -160,11 +186,38 @@ def _cmd_interpret(args, out):
     return 0
 
 
+def _cmd_bench(args, out):
+    from .bench.runner import benchmark_training
+
+    result = benchmark_training(
+        model_name=args.model, task=args.task, epochs=args.epochs,
+        num_admissions=args.admissions, batch_size=args.batch_size,
+        seed=args.seed, fused=not args.unfused)
+    profiler = result["profiler"]
+    config = result["config"]
+    kernel = "unfused reference" if args.unfused else "fused"
+    out.write(f"{args.model} on synthetic/{args.task}: "
+              f"{config['epochs']} epochs, batch {config['batch_size']}, "
+              f"{kernel} kernels\n")
+    out.write(f"  params        : {config['num_parameters']}\n")
+    out.write(f"  sec/batch     : {result['seconds_per_batch']:.4f}\n")
+    out.write(f"  steps/sec     : {result['steps_per_sec']:.2f}\n\n")
+    out.write(profiler.table(sort_by=args.sort, limit=args.top) + "\n")
+    if not args.no_json:
+        extra = dict(config)
+        extra["steps_per_sec"] = result["steps_per_sec"]
+        extra["seconds_per_batch"] = result["seconds_per_batch"]
+        path = profiler.save(directory=args.out, extra=extra)
+        out.write(f"\nreport written to {path}\n")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "train": _cmd_train,
     "compare": _cmd_compare,
     "interpret": _cmd_interpret,
+    "bench": _cmd_bench,
 }
 
 

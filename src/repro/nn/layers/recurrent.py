@@ -20,12 +20,20 @@ class GRUCell(Module):
     """Single-step gated recurrent unit (Cho et al., 2014).
 
     Gate layout in the fused kernels is ``[update z | reset r | candidate n]``.
+
+    By default each step runs through the fused
+    :func:`repro.nn.ops.gru_step` kernel — one graph node with a single
+    hand-derived backward instead of the ~20-node unfused composition.
+    Pass ``fused=False`` (or flip the attribute) to fall back to the
+    reference composition; ``tests/nn/test_fused_equivalence.py`` pins
+    the two paths together to 1e-10 in both forward and backward.
     """
 
-    def __init__(self, input_size, hidden_size, rng):
+    def __init__(self, input_size, hidden_size, rng, fused=True):
         super().__init__()
         self.input_size = input_size
         self.hidden_size = hidden_size
+        self.fused = fused
         self.w_ih = Parameter(init.glorot_uniform((input_size, 3 * hidden_size), rng))
         self.w_hh = Parameter(init.orthogonal((hidden_size, 3 * hidden_size), rng))
         self.b_ih = Parameter(np.zeros(3 * hidden_size))
@@ -33,6 +41,13 @@ class GRUCell(Module):
 
     def forward(self, x, h):
         """Advance one step: ``x`` is (batch, input), ``h`` is (batch, hidden)."""
+        if self.fused:
+            return ops.gru_step(x, h, self.w_ih, self.w_hh,
+                                self.b_ih, self.b_hh)
+        return self.reference_step(x, h)
+
+    def reference_step(self, x, h):
+        """The unfused op-by-op composition (ground truth for the kernel)."""
         gates_x = ops.matmul(x, self.w_ih) + self.b_ih
         gates_h = ops.matmul(h, self.w_hh) + self.b_hh
         zx, rx, nx = ops.split(gates_x, 3, axis=-1)
@@ -60,11 +75,13 @@ class GRU(Module):
         self.return_sequences = return_sequences
 
     def forward(self, x, h0=None):
-        batch, steps, _ = x.shape
+        batch, _, _ = x.shape
         h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_size)))
         outputs = []
-        for t in range(steps):
-            h = self.cell(x[:, t, :], h)
+        # unbind_time shares one preallocated per-sequence gradient buffer
+        # across steps instead of one full-size scatter per step.
+        for x_t in ops.unbind_time(x):
+            h = self.cell(x_t, h)
             outputs.append(h)
         if self.return_sequences:
             return ops.stack(outputs, axis=1)
@@ -110,15 +127,15 @@ class LSTM(Module):
         self.return_sequences = return_sequences
 
     def forward(self, x, state=None):
-        batch, steps, _ = x.shape
+        batch, _, _ = x.shape
         if state is None:
             h = Tensor(np.zeros((batch, self.hidden_size)))
             c = Tensor(np.zeros((batch, self.hidden_size)))
         else:
             h, c = state
         outputs = []
-        for t in range(steps):
-            h, c = self.cell(x[:, t, :], (h, c))
+        for x_t in ops.unbind_time(x):
+            h, c = self.cell(x_t, (h, c))
             outputs.append(h)
         if self.return_sequences:
             return ops.stack(outputs, axis=1)

@@ -71,13 +71,16 @@ def bce_with_logits(logits, targets, reduction="mean", pos_weight=None):
 
 
 def cross_entropy(logits, targets, reduction="mean"):
-    """Multi-class cross-entropy from logits with integer class targets."""
+    """Multi-class cross-entropy from logits with integer class targets.
+
+    Runs through the fused :func:`repro.nn.ops.softmax_cross_entropy`
+    kernel — one graph node instead of the log-softmax / gather / negate
+    chain, with bit-identical forward values (equivalence pinned by
+    ``tests/nn/test_fused_equivalence.py``).
+    """
     logits = as_tensor(logits)
     targets = np.asarray(targets, dtype=np.int64)
-    log_probs = ops.log_softmax(logits, axis=-1)
-    rows = np.arange(log_probs.shape[0])
-    picked = ops.getitem(log_probs, (rows, targets))
-    return _reduce(-picked, reduction)
+    return _reduce(ops.softmax_cross_entropy(logits, targets), reduction)
 
 
 def mean_squared_error(predictions, targets, reduction="mean"):

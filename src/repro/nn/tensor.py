@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..bench import _hooks as _bench_hooks
+
 __all__ = ["Tensor", "unbroadcast", "as_tensor", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
@@ -249,7 +251,13 @@ class Tensor:
         self._accumulate(grad)
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+                if _bench_hooks._PROFILERS:
+                    # Time this node's backward and attribute it to the
+                    # producing op's tag (see repro.bench).
+                    _bench_hooks.call_backward(node.op_name, node._backward,
+                                               node.grad)
+                else:
+                    node._backward(node.grad)
                 if _ANOMALY_STATE is not None:
                     from . import debug
                     debug._on_backward(node)

@@ -189,7 +189,15 @@ class Trainer:
 
         Binary tasks return a vector of positive-class probabilities;
         multi-class tasks return an (N, K) softmax matrix.
+
+        The whole pass runs under :class:`~repro.nn.tensor.no_grad`, so
+        no backward-graph state (parents / closures /
+        ``requires_grad=True`` outputs) is ever built for evaluation
+        batches — ``tests/train/test_eval_no_grad.py`` pins this with
+        the op profiler.  The model's train/eval mode is restored to
+        whatever it was on entry rather than forced back to training.
         """
+        was_training = self.model.training
         self.model.eval()
         outputs = []
         with nn.no_grad():
@@ -202,7 +210,7 @@ class Trainer:
                     outputs.append(exped / exped.sum(axis=-1, keepdims=True))
                 else:
                     outputs.append(1.0 / (1.0 + np.exp(-logits)))
-        self.model.train()
+        self.model.train(was_training)
         return np.concatenate(outputs)
 
     def evaluate(self, dataset):
@@ -226,11 +234,12 @@ class Trainer:
         if len(dataset) == 0:
             return 0.0
         probe = dataset.subset(np.arange(min(len(dataset), 4 * self.batch_size)))
+        was_training = self.model.training
         self.model.eval()
         started = time.perf_counter()
         with nn.no_grad():
             for batch, _ in iterate_batches(probe, self.task, self.batch_size):
                 self.model.forward_batch(batch)
         elapsed = time.perf_counter() - started
-        self.model.train()
+        self.model.train(was_training)
         return elapsed / len(probe)

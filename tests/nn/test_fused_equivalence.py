@@ -1,0 +1,239 @@
+"""Seeded equivalence of the fused kernels vs their unfused compositions.
+
+The fused GRU step (:func:`repro.nn.ops.gru_step`), the fused
+softmax-cross-entropy (:func:`repro.nn.ops.softmax_cross_entropy`), and
+the shared-buffer sequence unbind (:func:`repro.nn.ops.unbind_time`)
+must be drop-in replacements: forward values within 1e-10 of the
+op-by-op reference (most are bit-identical), and backward both passing
+finite-difference gradcheck and agreeing with the reference composition's
+gradients to 1e-10 — across batch sizes including 1 and non-contiguous
+inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import profile
+from repro.nn import Tensor, ops
+from repro.nn.gradcheck import check_module, gradcheck
+from repro.nn.layers import GRU, GRUCell
+from repro.nn.losses import cross_entropy
+
+TOL = 1e-10
+
+
+def _max_diff(a, b):
+    return float(np.abs(np.asarray(a) - np.asarray(b)).max())
+
+
+def _cell(rng, input_size=5, hidden_size=4, fused=True):
+    return GRUCell(input_size, hidden_size, rng, fused=fused)
+
+
+def _cell_grads(cell, x, h):
+    """Input and parameter gradients of sum(step(x, h)^2)."""
+    cell.zero_grad()
+    xt = Tensor(x, requires_grad=True)
+    ht = Tensor(h, requires_grad=True)
+    out = cell(xt, ht)
+    (out * out).sum().backward()
+    grads = {"x": xt.grad.copy(), "h": ht.grad.copy()}
+    grads.update({name: p.grad.copy()
+                  for name, p in cell.named_parameters()})
+    return out.data.copy(), grads
+
+
+class TestFusedGRUStep:
+    @pytest.mark.parametrize("batch", [1, 2, 7])
+    def test_forward_matches_reference(self, batch):
+        rng = np.random.default_rng(batch)
+        cell = _cell(rng)
+        x = rng.normal(size=(batch, 5))
+        h = rng.normal(size=(batch, 4))
+        fused = cell(Tensor(x), Tensor(h)).data
+        reference = cell.reference_step(Tensor(x), Tensor(h)).data
+        assert _max_diff(fused, reference) < TOL
+
+    @pytest.mark.parametrize("batch", [1, 3, 8])
+    def test_backward_matches_reference(self, batch):
+        rng = np.random.default_rng(100 + batch)
+        cell = _cell(rng)
+        x = rng.normal(size=(batch, 5))
+        h = rng.normal(size=(batch, 4))
+        cell.fused = True
+        _, fused = _cell_grads(cell, x, h)
+        cell.fused = False
+        _, reference = _cell_grads(cell, x, h)
+        for name in fused:
+            assert _max_diff(fused[name], reference[name]) < TOL, name
+
+    def test_non_contiguous_inputs(self):
+        rng = np.random.default_rng(5)
+        cell = _cell(rng)
+        x = rng.normal(size=(3, 10))[:, ::2]        # stride-2 view
+        h = np.asfortranarray(rng.normal(size=(3, 4)))
+        assert not x.flags["C_CONTIGUOUS"]
+        fused_out, fused = _cell_grads(cell, x, h)
+        cell.fused = False
+        ref_out, reference = _cell_grads(cell, x, h)
+        assert _max_diff(fused_out, ref_out) < TOL
+        for name in fused:
+            assert _max_diff(fused[name], reference[name]) < TOL, name
+
+    def test_gru_step_gradcheck_all_inputs(self):
+        rng = np.random.default_rng(9)
+        arrays = [rng.normal(size=(2, 3)), rng.normal(size=(2, 4)),
+                  rng.normal(size=(3, 12)) * 0.5,
+                  rng.normal(size=(4, 12)) * 0.5,
+                  rng.normal(size=12) * 0.1, rng.normal(size=12) * 0.1]
+        gradcheck(lambda *ts: ops.sum(ops.mul(ops.gru_step(*ts),
+                                              ops.gru_step(*ts))),
+                  *arrays)
+
+    def test_fused_cell_passes_check_module(self):
+        rng = np.random.default_rng(11)
+        cell = _cell(rng, input_size=3, hidden_size=3)
+        x = rng.normal(size=(4, 3))
+        h = rng.normal(size=(4, 3))
+
+        def loss(module):
+            out = module(Tensor(x), Tensor(h))
+            return (out * out).sum()
+
+        check_module(cell, loss)
+
+    def test_rejects_mismatched_weight_shapes(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="gru_step weight shapes"):
+            ops.gru_step(rng.normal(size=(2, 5)), rng.normal(size=(2, 4)),
+                         rng.normal(size=(5, 9)), rng.normal(size=(4, 12)),
+                         np.zeros(12), np.zeros(12))
+
+
+class TestFusedGRUSequence:
+    @pytest.mark.parametrize("batch", [1, 3])
+    def test_full_sequence_matches_unfused(self, batch):
+        """End-to-end: fused cell + unbind_time loop vs the reference
+        composition, with a graph-connected input so the shared-buffer
+        backward of unbind_time is exercised too."""
+        rng = np.random.default_rng(batch + 40)
+        gru = GRU(5, 4, np.random.default_rng(1))
+        x = rng.normal(size=(batch, 6, 5))
+
+        results = {}
+        for fused in (True, False):
+            gru.cell.fused = fused
+            gru.zero_grad()
+            xt = Tensor(x, requires_grad=True)
+            out = gru(xt)
+            (out * out).sum().backward()
+            results[fused] = (out.data.copy(), xt.grad.copy(),
+                              {n: p.grad.copy()
+                               for n, p in gru.named_parameters()})
+
+        out_f, gx_f, params_f = results[True]
+        out_r, gx_r, params_r = results[False]
+        assert _max_diff(out_f, out_r) < TOL
+        assert _max_diff(gx_f, gx_r) < TOL
+        for name in params_f:
+            assert _max_diff(params_f[name], params_r[name]) < TOL, name
+
+
+class TestUnbindTime:
+    def test_slices_match_getitem(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 5, 3))
+        steps = ops.unbind_time(Tensor(x))
+        assert len(steps) == 5
+        for t, step in enumerate(steps):
+            assert np.array_equal(step.data, x[:, t])
+
+    def test_gradient_matches_getitem_composition(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(3, 4, 2))
+
+        def weighted(slices):
+            total = None
+            for i, s in enumerate(slices):
+                term = float(i + 1) * (s * s).sum()
+                total = term if total is None else total + term
+            return total
+
+        xt = Tensor(x, requires_grad=True)
+        weighted(ops.unbind_time(xt)).backward()
+        xr = Tensor(x, requires_grad=True)
+        weighted([xr[:, t] for t in range(x.shape[1])]).backward()
+        assert _max_diff(xt.grad, xr.grad) < TOL
+
+
+class TestFusedSoftmaxCrossEntropy:
+    def _reference(self, logits, targets):
+        log_probs = ops.log_softmax(logits, axis=-1)
+        rows = np.arange(log_probs.shape[0])
+        return -ops.getitem(log_probs, (rows, targets))
+
+    @pytest.mark.parametrize("batch", [1, 4])
+    def test_forward_bit_identical(self, batch):
+        rng = np.random.default_rng(batch + 20)
+        logits = rng.normal(size=(batch, 5)) * 3.0
+        targets = rng.integers(0, 5, size=batch)
+        fused = ops.softmax_cross_entropy(Tensor(logits), targets).data
+        reference = self._reference(Tensor(logits), targets).data
+        assert np.array_equal(fused, reference)
+
+    @pytest.mark.parametrize("batch", [1, 4])
+    def test_backward_matches_reference(self, batch):
+        rng = np.random.default_rng(batch + 30)
+        logits = rng.normal(size=(batch, 5))
+        targets = rng.integers(0, 5, size=batch)
+        lf = Tensor(logits, requires_grad=True)
+        ops.mean(ops.softmax_cross_entropy(lf, targets)).backward()
+        lr = Tensor(logits, requires_grad=True)
+        ops.mean(self._reference(lr, targets)).backward()
+        assert _max_diff(lf.grad, lr.grad) < TOL
+
+    def test_non_contiguous_logits(self):
+        rng = np.random.default_rng(6)
+        wide = rng.normal(size=(3, 10))
+        logits = wide[:, ::2]
+        assert not logits.flags["C_CONTIGUOUS"]
+        targets = np.array([0, 4, 2])
+        lf = Tensor(logits, requires_grad=True)
+        ops.sum(ops.softmax_cross_entropy(lf, targets)).backward()
+        lr = Tensor(logits, requires_grad=True)
+        ops.sum(self._reference(lr, targets)).backward()
+        assert _max_diff(lf.grad, lr.grad) < TOL
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(8)
+        targets = np.array([2, 0, 1, 3])
+        gradcheck(lambda a: ops.mean(ops.softmax_cross_entropy(a, targets)),
+                  rng.normal(size=(4, 4)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="softmax_cross_entropy"):
+            ops.softmax_cross_entropy(np.zeros((2, 3, 4)), np.array([0, 1]))
+
+    def test_losses_cross_entropy_routes_through_fused_op(self):
+        logits = Tensor(np.zeros((3, 4)), requires_grad=True)
+        with profile() as prof:
+            cross_entropy(logits, np.array([0, 1, 2]))
+        assert prof.forward_calls("softmax_cross_entropy") == 1
+        assert prof.forward_calls("log_softmax") == 0
+
+
+class TestRegistryCoverage:
+    """Satellite: the fused ops are first-class registry citizens, so the
+    registry-driven gradcheck sweep covers them automatically."""
+
+    @pytest.mark.parametrize("name",
+                             ["gru_step", "softmax_cross_entropy",
+                              "unbind_time"])
+    def test_registered_with_sample_factory(self, name):
+        registry = ops.registered_ops()
+        assert name in registry
+        assert registry[name].sample_factory is not None
+        samples = ops.sample_inputs(name, np.random.default_rng(0))
+        assert samples, f"{name} factory produced no samples"
+        for sample in samples:
+            gradcheck(sample.build, *sample.arrays)
