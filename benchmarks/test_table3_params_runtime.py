@@ -15,7 +15,7 @@ times differ but orderings should hold):
 
 from conftest import run_once
 
-from repro.experiments import TABLE3_MODELS, render_table3, run_table3
+from repro.experiments import render_table3, run_table3
 
 
 def test_table3(benchmark, config, persist):

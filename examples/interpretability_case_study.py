@@ -13,7 +13,6 @@ Reproduces, as console output, the analyses of Table II and Figures 9-10:
     python examples/interpretability_case_study.py
 """
 
-import numpy as np
 
 from repro.core import ELDA, modify_feature_to_normal
 from repro.data import feature_index, load_cohort

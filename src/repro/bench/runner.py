@@ -49,11 +49,13 @@ def benchmark_cohort(num_admissions=64, seed=0):
 
 def benchmark_training(model_name="GRU", task="mortality", epochs=2,
                        num_admissions=64, batch_size=32, seed=0,
-                       fused=True, with_profiler=True):
+                       fused=True, with_profiler=True, run_dir=None):
     """Train ``model_name`` for ``epochs`` epochs and measure throughput.
 
     Early stopping is disabled (patience > epochs) so every run performs
-    the same number of optimizer steps.
+    the same number of optimizer steps.  The epoch loop itself is the
+    training engine's; ``run_dir`` optionally leaves the durable
+    config/metrics/checkpoint artifacts alongside the benchmark numbers.
 
     Returns a dict with:
 
@@ -73,7 +75,7 @@ def benchmark_training(model_name="GRU", task="mortality", epochs=2,
                         np.random.default_rng(seed))
     flipped = set_fused(model, fused)
     trainer = Trainer(model, task, batch_size=batch_size, max_epochs=epochs,
-                      patience=epochs + 1, seed=seed)
+                      patience=epochs + 1, seed=seed, run_dir=run_dir)
 
     profiler = None
     if with_profiler:

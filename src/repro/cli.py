@@ -6,7 +6,9 @@ Subcommands
     Print Table-I-style statistics for a cohort.
 ``train``
     Train a model on a cohort/task, print test metrics, optionally save
-    the weights.
+    the weights.  ``--run-dir`` makes the run durable (config.json,
+    metrics.jsonl, checkpoints/) and ``--resume`` continues an
+    interrupted run from its last checkpoint.
 ``compare``
     Train several models on one (cohort, task) cell and print the
     Figure-6-style metrics table.
@@ -61,6 +63,15 @@ def build_parser():
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--save", default=None, metavar="PATH",
                        help="save trained weights to an .npz file")
+    train.add_argument("--run-dir", default=None, metavar="DIR",
+                       help="durable run directory: config.json, "
+                       "metrics.jsonl, and checkpoints/ (enables --resume)")
+    train.add_argument("--resume", action="store_true",
+                       help="resume from DIR/checkpoints/last (weights, "
+                       "optimizer moments, RNG state, epoch counter)")
+    train.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="K", help="with --run-dir, keep a permanent "
+                       "checkpoint every K epochs (0 = last/best only)")
 
     compare = commands.add_parser("compare", help="compare several models")
     compare.add_argument("--models", nargs="+",
@@ -127,18 +138,29 @@ def _cmd_train(args, out):
     from .nn.serialization import save_weights
     from .train import Trainer
 
+    if args.resume and not args.run_dir:
+        raise SystemExit("--resume requires --run-dir")
     config = _config(args)
     splits = load_cohort(args.cohort, scale=args.scale,
                          fractions=config.fractions)
     model = build_model(args.model, NUM_FEATURES,
                         np.random.default_rng(args.seed))
+    run_kwargs = {}
+    if args.run_dir:
+        run_kwargs = dict(run_dir=args.run_dir,
+                          checkpoint_every=args.checkpoint_every)
     trainer = Trainer(model, args.task, anomaly_mode=args.debug_anomaly,
-                      **config.trainer_kwargs(args.seed))
-    history = trainer.fit(splits.train, splits.validation)
+                      **run_kwargs, **config.trainer_kwargs(args.seed))
+    if args.resume:
+        history = trainer.fit(splits.train, splits.validation, resume=True)
+    else:
+        history = trainer.fit(splits.train, splits.validation)
     metrics = trainer.evaluate(splits.test)
     out.write(f"{args.model} on {args.cohort}/{args.task}: "
               f"{history.num_epochs} epochs "
               f"(best {history.best_epoch})\n")
+    if args.run_dir:
+        out.write(f"  run dir : {args.run_dir}\n")
     out.write(f"  params  : {model.num_parameters()}\n")
     out.write(f"  BCE     : {metrics['bce']:.4f}\n")
     out.write(f"  AUC-ROC : {metrics['auc_roc']:.4f}\n")

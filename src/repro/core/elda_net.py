@@ -24,7 +24,6 @@ Use :func:`build_variant` to construct any of them by paper name.
 
 from __future__ import annotations
 
-import numpy as np
 
 from .. import nn
 from ..nn.layers import GRU

@@ -15,7 +15,7 @@ import numpy as np
 from ..data.schema import NUM_FEATURES
 from ..nn.serialization import load_weights, save_weights
 from ..train import Trainer
-from .elda_net import ELDANet, build_variant
+from .elda_net import build_variant
 from .interpret import (cohort_time_attention, extract_attention,
                         feature_attention_at, interaction_trace)
 
@@ -53,26 +53,34 @@ class ELDA:
     trainer_kwargs:
         Extra settings forwarded to :class:`repro.train.Trainer`
         (``max_epochs``, ``patience``, ``lr``, ...).
+    run_dir:
+        Optional durable run directory (config.json, metrics.jsonl,
+        checkpoints/); resume an interrupted fit with
+        ``fit(..., resume=True)``.
     """
 
     def __init__(self, task="mortality", num_features=NUM_FEATURES,
                  variant="ELDA-Net", seed=0, model_kwargs=None,
-                 trainer_kwargs=None):
+                 trainer_kwargs=None, run_dir=None):
         self.task = task
         self.num_features = num_features
         rng = np.random.default_rng(seed)
         self.model = build_variant(variant, num_features, rng,
                                    **(model_kwargs or {}))
-        self.trainer = Trainer(self.model, task, seed=seed,
+        self.trainer = Trainer(self.model, task, seed=seed, run_dir=run_dir,
                                **(trainer_kwargs or {}))
         self.history = None
 
     # ------------------------------------------------------------------
     # Predictive analytics
     # ------------------------------------------------------------------
-    def fit(self, train, validation):
-        """Train on historical EMR data with early stopping."""
-        self.history = self.trainer.fit(train, validation)
+    def fit(self, train, validation, resume=False):
+        """Train on historical EMR data with early stopping.
+
+        With ``resume=True`` (requires ``run_dir``) the last checkpoint
+        is restored and training continues where it left off.
+        """
+        self.history = self.trainer.fit(train, validation, resume=resume)
         return self.history
 
     def predict_risk(self, dataset):

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .archetypes import ARCHETYPES, Archetype, archetype_by_name
+from .archetypes import ARCHETYPES, archetype_by_name
 from .missingness import ObservationModel
 from .schema import FEATURES, NUM_FEATURES, NUM_TIME_STEPS, feature_index
 from .trajectory import global_loading_vector, sample_trajectory

@@ -17,7 +17,6 @@ The paper's reads the harness checks:
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.interpret import interaction_trace
 from ..data.schema import feature_index

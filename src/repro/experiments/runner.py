@@ -7,6 +7,8 @@ and aggregates means — the building block of Figure 6 and Figure 7.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from ..baselines import build_model
@@ -17,17 +19,23 @@ __all__ = ["train_and_evaluate", "run_grid", "aggregate_seeds"]
 
 
 def train_and_evaluate(model_name, splits, task, config, seed,
-                       model_kwargs=None):
+                       model_kwargs=None, run_dir=None, callbacks=()):
     """Train one model and return its test metrics plus bookkeeping.
 
     Returns a dict with the paper's metric triple and ``params``,
     ``seconds_per_batch``, ``prediction_seconds``, ``history``.
+
+    All epoch/early-stopping mechanics live in the training engine;
+    ``run_dir`` makes the cell durable (config.json / metrics.jsonl /
+    checkpoints) and ``callbacks`` appends extra
+    :class:`repro.train.Callback` hooks to the default stack.
     """
     rng = np.random.default_rng(seed)
     kwargs = dict(config.model_overrides)
     kwargs.update(model_kwargs or {})
     model = build_model(model_name, NUM_FEATURES, rng, **kwargs)
-    trainer = Trainer(model, task, **config.trainer_kwargs(seed))
+    trainer = Trainer(model, task, run_dir=run_dir, callbacks=callbacks,
+                      **config.trainer_kwargs(seed))
     history = trainer.fit(splits.train, splits.validation)
     metrics = trainer.evaluate(splits.test)
     metrics.update(
@@ -55,12 +63,14 @@ def aggregate_seeds(per_seed):
     return out
 
 
-def run_grid(model_names, cohort, task, config, scale=None):
+def run_grid(model_names, cohort, task, config, scale=None, run_root=None):
     """Evaluate a list of models on one (cohort, task) cell.
 
     Returns ``{model name: aggregated metrics}``.  The cohort is sampled
     once and shared across models and seeds, mirroring the paper's fixed
-    train/validation/test split.
+    train/validation/test split.  With ``run_root`` every (model, seed)
+    cell leaves a durable run directory under
+    ``run_root/<cohort>-<task>/<model>/seed<k>/``.
     """
     splits = load_cohort(cohort, scale=scale or config.scale,
                          fractions=config.fractions)
@@ -68,7 +78,12 @@ def run_grid(model_names, cohort, task, config, scale=None):
     for name in model_names:
         per_seed = []
         for seed in config.seeds():
-            metrics, _ = train_and_evaluate(name, splits, task, config, seed)
+            run_dir = None
+            if run_root is not None:
+                run_dir = (Path(run_root) / f"{cohort}-{task}"
+                           / name / f"seed{seed}")
+            metrics, _ = train_and_evaluate(name, splits, task, config, seed,
+                                            run_dir=run_dir)
             per_seed.append(metrics)
         results[name] = aggregate_seeds(per_seed)
     return results

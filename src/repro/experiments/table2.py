@@ -9,7 +9,6 @@ during the crisis, with HCT/WBC near baseline throughout.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..data import load_cohort
 from ..data.schema import feature_index

@@ -19,7 +19,6 @@ import numpy as np
 
 from .. import nn
 from ..baselines import BASELINE_NAMES, build_model
-from ..core.elda_net import VARIANT_NAMES
 from ..data import NUM_FEATURES, load_cohort
 from ..nn.losses import bce_with_logits
 from .config import default_config

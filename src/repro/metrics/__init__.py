@@ -5,9 +5,12 @@ from .calibration import (brier_score, expected_calibration_error,
 from .classification import (accuracy, auc_pr, auc_roc, bce_loss,
                              bootstrap_metric, evaluate_all, f1_score,
                              precision_recall_curve, roc_curve)
+from .probability import (evaluate_multiclass, multiclass_ce, sigmoid_probs,
+                          softmax_probs)
 
 __all__ = [
     "auc_roc", "auc_pr", "bce_loss", "accuracy", "f1_score",
     "precision_recall_curve", "roc_curve", "bootstrap_metric", "evaluate_all",
     "brier_score", "expected_calibration_error", "reliability_curve",
+    "softmax_probs", "sigmoid_probs", "multiclass_ce", "evaluate_multiclass",
 ]

@@ -17,14 +17,14 @@ from .debug import AnomalyError, audit_backward, detect_anomaly
 from .gradcheck import GradcheckFailure, check_module
 from .module import Module, ModuleList, Parameter
 from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
-from .serialization import load_weights, save_weights
+from .serialization import load_state, load_weights, save_state, save_weights
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
     "Module", "ModuleList", "Parameter",
     "Optimizer", "SGD", "Adam", "RMSProp", "clip_grad_norm",
-    "save_weights", "load_weights",
+    "save_weights", "load_weights", "save_state", "load_state",
     "detect_anomaly", "AnomalyError", "audit_backward",
     "check_module", "GradcheckFailure",
     "ops", "init", "losses", "schedules", "gradcheck", "debug",

@@ -30,7 +30,14 @@ def clip_grad_norm(parameters, max_norm):
 
 
 class Optimizer:
-    """Base optimizer; subclasses implement :meth:`_update`."""
+    """Base optimizer; subclasses implement :meth:`_update`.
+
+    Optimizers are checkpointable: :meth:`state_dict` returns a nested
+    tree of scalars and per-parameter slot arrays (aligned with the
+    parameter list order) and :meth:`load_state_dict` restores it, so a
+    resumed run continues with identical moments (see
+    ``repro.train.engine``).
+    """
 
     def __init__(self, parameters, lr):
         self.parameters = list(parameters)
@@ -52,6 +59,49 @@ class Optimizer:
 
     def _update(self, index, param):
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Return the optimizer's mutable state as a nested tree.
+
+        Contains ``lr`` plus whatever slot state the subclass keeps
+        (moments, velocities); suitable for
+        :func:`repro.nn.serialization.save_state`.
+        """
+        state = {"lr": float(self.lr)}
+        state.update(self._slot_state())
+        return state
+
+    def load_state_dict(self, state):
+        """Restore state produced by :meth:`state_dict`.
+
+        Slot arrays are validated against the current parameter shapes.
+        """
+        self.lr = float(state["lr"])
+        self._load_slot_state(state)
+
+    def _slot_state(self):
+        return {}
+
+    def _load_slot_state(self, state):
+        pass
+
+    def _checked_slots(self, arrays, name):
+        """Coerce a list of slot arrays, validating length and shapes."""
+        if len(arrays) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state {name!r} has {len(arrays)} slots for "
+                f"{len(self.parameters)} parameters")
+        out = []
+        for array, param in zip(arrays, self.parameters):
+            array = np.asarray(array, dtype=np.float64)
+            if array.shape != param.data.shape:
+                raise ValueError(f"slot {name!r} shape {array.shape} does not "
+                                 f"match parameter shape {param.data.shape}")
+            out.append(array.copy())
+        return out
 
 
 class SGD(Optimizer):
@@ -76,6 +126,15 @@ class SGD(Optimizer):
             param.data += vel
         else:
             param.data -= self.lr * grad
+
+    def _slot_state(self):
+        # Lazily-created velocities serialize as zeros (the same thing).
+        return {"velocity": [np.zeros_like(p.data) if v is None else v
+                             for v, p in zip(self._velocity,
+                                             self.parameters)]}
+
+    def _load_slot_state(self, state):
+        self._velocity = self._checked_slots(state["velocity"], "velocity")
 
 
 class Adam(Optimizer):
@@ -109,6 +168,15 @@ class Adam(Optimizer):
         v_hat = v / (1.0 - self.beta2 ** self._step_count)
         param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def _slot_state(self):
+        return {"step_count": int(self._step_count),
+                "m": list(self._m), "v": list(self._v)}
+
+    def _load_slot_state(self, state):
+        self._step_count = int(state["step_count"])
+        self._m = self._checked_slots(state["m"], "m")
+        self._v = self._checked_slots(state["v"], "v")
+
 
 class RMSProp(Optimizer):
     """RMSProp with exponentially decayed squared-gradient average."""
@@ -124,3 +192,9 @@ class RMSProp(Optimizer):
         sq *= self.rho
         sq += (1.0 - self.rho) * param.grad ** 2
         param.data -= self.lr * param.grad / (np.sqrt(sq) + self.eps)
+
+    def _slot_state(self):
+        return {"sq": list(self._sq)}
+
+    def _load_slot_state(self, state):
+        self._sq = self._checked_slots(state["sq"], "sq")

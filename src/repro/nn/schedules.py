@@ -2,6 +2,9 @@
 
 Schedulers wrap an :class:`~repro.nn.optim.Optimizer` and mutate its
 ``lr`` on each :meth:`step` (called once per epoch by convention).
+Each exposes ``state_dict()`` / ``load_state_dict()`` so a checkpointed
+run resumes mid-schedule (the optimizer's ``lr`` itself rides along in
+the optimizer's own state dict).
 """
 
 from __future__ import annotations
@@ -30,6 +33,13 @@ class StepDecay:
         self.optimizer.lr = self._base_lr * (self.gamma ** decays)
         return self.optimizer.lr
 
+    def state_dict(self):
+        return {"epoch": self._epoch, "base_lr": self._base_lr}
+
+    def load_state_dict(self, state):
+        self._epoch = int(state["epoch"])
+        self._base_lr = float(state["base_lr"])
+
 
 class CosineAnnealing:
     """Cosine decay from the initial lr to ``min_lr`` over ``total_epochs``."""
@@ -50,6 +60,13 @@ class CosineAnnealing:
         cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
         self.optimizer.lr = self.min_lr + (self._base_lr - self.min_lr) * cosine
         return self.optimizer.lr
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "base_lr": self._base_lr}
+
+    def load_state_dict(self, state):
+        self._epoch = int(state["epoch"])
+        self._base_lr = float(state["base_lr"])
 
 
 class ReduceOnPlateau:
@@ -80,3 +97,10 @@ class ReduceOnPlateau:
                                         self.optimizer.lr * self.factor)
                 self._stall = 0
         return self.optimizer.lr
+
+    def state_dict(self):
+        return {"best": self._best, "stall": self._stall}
+
+    def load_state_dict(self, state):
+        self._best = float(state["best"])
+        self._stall = int(state["stall"])

@@ -1,10 +1,22 @@
-"""Save and load module weights as ``.npz`` archives."""
+"""Save and load module weights and nested state trees as ``.npz`` archives.
+
+Two layers:
+
+* :func:`save_weights` / :func:`load_weights` — flat parameter archives
+  (``module.state_dict()`` verbatim), the historical format.
+* :func:`save_state` / :func:`load_state` — nested *state trees* (dicts
+  and lists of arrays and scalars), used for optimizer moments and other
+  checkpoint state.  Trees are flattened to dotted npz keys
+  (``m.0``, ``m.1`` ...) and reconstructed on load, with integer-keyed
+  levels turned back into lists.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["save_weights", "load_weights"]
+__all__ = ["save_weights", "load_weights", "flatten_state",
+           "unflatten_state", "save_state", "load_state"]
 
 # ``/`` is illegal inside npz member names on some platforms, and ``.`` is the
 # natural separator in parameter names; keep names verbatim — numpy handles
@@ -22,3 +34,67 @@ def load_weights(module, path):
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}
     module.load_state_dict(state)
+
+
+# ----------------------------------------------------------------------
+# Nested state trees (optimizer moments, checkpoint bookkeeping)
+# ----------------------------------------------------------------------
+
+def flatten_state(tree, prefix=""):
+    """Flatten a nested dict/list tree of arrays and scalars.
+
+    Returns ``{dotted_key: ndarray}``.  List elements get their index as
+    the key component, so ``{"m": [a, b]}`` flattens to ``m.0`` / ``m.1``.
+    Dict keys must not contain ``.`` (it is the path separator) and must
+    not be all-digit strings (those are reserved for list indices).
+    """
+    flat = {}
+    if isinstance(tree, dict):
+        items = []
+        for key, value in tree.items():
+            key = str(key)
+            if "." in key or key.isdigit():
+                raise ValueError(
+                    f"state key {key!r} would be ambiguous when flattened "
+                    "(no dots, no all-digit keys)")
+            items.append((key, value))
+    elif isinstance(tree, (list, tuple)):
+        items = [(str(i), value) for i, value in enumerate(tree)]
+    else:
+        flat[prefix[:-1]] = np.asarray(tree)
+        return flat
+    for key, value in items:
+        flat.update(flatten_state(value, prefix=f"{prefix}{key}."))
+    return flat
+
+
+def unflatten_state(flat):
+    """Invert :func:`flatten_state`; 0-d arrays become python scalars."""
+    tree = {}
+    for dotted, value in flat.items():
+        parts = dotted.split(".")
+        node = tree
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value.item() if np.ndim(value) == 0 else value
+    return _listify(tree)
+
+
+def _listify(node):
+    if isinstance(node, dict):
+        if node and all(key.isdigit() for key in node):
+            return [_listify(node[key]) for key in sorted(node, key=int)]
+        return {key: _listify(value) for key, value in node.items()}
+    return node
+
+
+def save_state(path, tree):
+    """Write a nested state tree to a compressed npz archive."""
+    np.savez_compressed(path, **flatten_state(tree))
+
+
+def load_state(path):
+    """Read a state tree written by :func:`save_state`."""
+    with np.load(path) as archive:
+        flat = {name: archive[name] for name in archive.files}
+    return unflatten_state(flat)

@@ -1,43 +1,30 @@
-"""Generic training loop shared by ELDA-Net and every baseline.
+"""Backward-compatible facade over the event-driven training engine.
 
-Any model exposing ``forward_batch(batch) -> logits`` (where ``batch`` is
-an :class:`repro.data.EMRDataset` subset) can be trained.  The trainer
-implements the paper's protocol: Adam at lr 1e-3, batch size 64, early
-stopping on the validation split, and the best-on-validation weights are
-restored before test evaluation.  It also records per-batch training and
-prediction wall-clock, which feeds the Table III reproduction.
+Any model exposing ``forward_batch(batch) -> logits`` (where ``batch``
+is an :class:`repro.data.EMRDataset` subset) can be trained.  The
+trainer implements the paper's protocol — Adam at lr 1e-3, batch size
+64, early stopping on the validation split with best-on-validation
+weights restored — by assembling the default callback stack on a bare
+:class:`~repro.train.engine.Engine`:
+
+``[LRSchedulerCallback?] → BatchTimer → AnomalyGuard → EarlyStopping →
+[Checkpointer → JSONLLogger]``
+
+(the bracketed entries appear only when a scheduler / a ``run_dir`` is
+configured).  The engine owns the batch loop; every behavior above is a
+plugin, so callers needing checkpoint/resume, metric streams, or custom
+hooks pass ``run_dir=...`` / ``callbacks=[...]`` instead of editing a
+training loop.  See docs/ARCHITECTURE.md.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
-
+from .callbacks import (AnomalyGuard, BatchTimer, Checkpointer,
+                        EarlyStopping, JSONLLogger, LRSchedulerCallback)
+from .engine import Engine, TrainingHistory
 from .. import nn
-from ..data.dataset import iterate_batches
-from ..metrics import evaluate_all
-from ..nn.losses import bce_with_logits, cross_entropy
 
 __all__ = ["Trainer", "TrainingHistory"]
-
-
-@dataclass
-class TrainingHistory:
-    """Per-epoch record of losses, metrics, and timings."""
-
-    train_loss: list = field(default_factory=list)
-    val_loss: list = field(default_factory=list)
-    val_auc_pr: list = field(default_factory=list)
-    val_auc_roc: list = field(default_factory=list)
-    seconds_per_batch: float = 0.0
-    prediction_seconds_per_sample: float = 0.0
-    best_epoch: int = -1
-
-    @property
-    def num_epochs(self):
-        return len(self.train_loss)
 
 
 class Trainer:
@@ -76,11 +63,23 @@ class Trainer:
         offending op (CLI: ``--debug-anomaly``).  Independent of this
         flag, a non-finite training loss always aborts the run instead
         of silently training on garbage.
+    run_dir:
+        Optional run directory.  When given, every epoch streams to
+        ``metrics.jsonl``, the configuration lands in ``config.json``,
+        and rolling/best checkpoints are written under ``checkpoints/``
+        (CLI: ``--run-dir``; resume with ``fit(..., resume=True)``).
+    checkpoint_every:
+        With a ``run_dir``, additionally keep a permanent checkpoint
+        every k epochs (0 = only ``last``/``best``).
+    callbacks:
+        Extra :class:`~repro.train.callbacks.Callback` objects appended
+        after the default stack.
     """
 
     def __init__(self, model, task, lr=1e-3, batch_size=64, max_epochs=20,
                  patience=4, clip_norm=5.0, seed=0, monitor="auc_pr",
-                 num_classes=1, scheduler_factory=None, anomaly_mode=False):
+                 num_classes=1, scheduler_factory=None, anomaly_mode=False,
+                 run_dir=None, checkpoint_every=0, callbacks=()):
         if num_classes > 1 and monitor == "auc_pr":
             monitor = "loss"
         if monitor not in ("auc_pr", "loss"):
@@ -94,152 +93,63 @@ class Trainer:
         self.clip_norm = clip_norm
         self.monitor = monitor
         self.anomaly_mode = anomaly_mode
+        self.run_dir = run_dir
         self.optimizer = nn.Adam(model.parameters(), lr=lr)
         self.scheduler = (scheduler_factory(self.optimizer)
                           if scheduler_factory is not None else None)
-        self._rng = np.random.default_rng(seed)
+
+        stack = []
+        if self.scheduler is not None:
+            stack.append(LRSchedulerCallback(self.scheduler))
+        self.early_stopping = EarlyStopping(monitor=monitor,
+                                            patience=patience)
+        stack += [BatchTimer(), AnomalyGuard(anomaly_mode),
+                  self.early_stopping]
+        if run_dir is not None:
+            stack += [Checkpointer(run_dir, every=checkpoint_every),
+                      JSONLLogger(run_dir)]
+        stack += list(callbacks)
+
+        self.engine = Engine(
+            model, task, self.optimizer, num_classes=num_classes,
+            batch_size=batch_size, max_epochs=max_epochs,
+            clip_norm=clip_norm, seed=seed, callbacks=stack,
+            run_dir=run_dir,
+            config={
+                "model_class": type(model).__name__,
+                "num_parameters": model.num_parameters(),
+                "task": task, "num_classes": num_classes, "lr": lr,
+                "batch_size": batch_size, "max_epochs": max_epochs,
+                "patience": patience, "clip_norm": clip_norm,
+                "seed": seed, "monitor": monitor,
+                "anomaly_mode": bool(anomaly_mode),
+                "scheduler": (type(self.scheduler).__name__
+                              if self.scheduler is not None else None),
+            })
 
     # ------------------------------------------------------------------
-    def fit(self, train, validation):
+    def fit(self, train, validation, resume=False):
         """Train until early stopping; returns a :class:`TrainingHistory`.
 
-        The model is left holding its best-on-validation weights.
+        The model is left holding its best-on-validation weights.  With
+        ``resume=True`` the rolling checkpoint under
+        ``run_dir/checkpoints/last`` is restored first (weights,
+        optimizer moments, RNG state, epoch counter, callback state) and
+        the loop continues from the saved epoch.
         """
-        history = TrainingHistory()
-        best_score = -np.inf
-        best_state = self.model.state_dict()
-        stall = 0
-        batch_times = []
+        if resume:
+            self.engine.resume()
+        return self.engine.fit(train, validation)
 
-        for epoch in range(self.max_epochs):
-            self.model.train()
-            epoch_losses = []
-            for batch_index, (batch, labels) in enumerate(
-                    iterate_batches(train, self.task,
-                                    self.batch_size, self._rng)):
-                started = time.perf_counter()
-                self.optimizer.zero_grad()
-                loss_value = self._train_step(batch, labels)
-                if not np.isfinite(loss_value):
-                    raise nn.AnomalyError(
-                        f"non-finite training loss ({loss_value}) at epoch "
-                        f"{epoch}, batch {batch_index}; aborting instead of "
-                        f"training on garbage — rerun with anomaly_mode=True "
-                        f"(CLI: --debug-anomaly) to pinpoint the op")
-                nn.clip_grad_norm(self.model.parameters(), self.clip_norm)
-                self.optimizer.step()
-                batch_times.append(time.perf_counter() - started)
-                epoch_losses.append(loss_value)
-
-            history.train_loss.append(float(np.mean(epoch_losses)))
-            val_metrics = self.evaluate(validation)
-            val_loss = val_metrics["ce" if self.num_classes > 1 else "bce"]
-            history.val_loss.append(val_loss)
-            history.val_auc_pr.append(val_metrics.get("auc_pr", float("nan")))
-            history.val_auc_roc.append(val_metrics.get("auc_roc", float("nan")))
-
-            if self.scheduler is not None:
-                self.scheduler.step(val_loss)
-
-            score = (-val_loss if self.monitor == "loss"
-                     else val_metrics["auc_pr"])
-            if np.isnan(score):
-                score = -np.inf
-            if score > best_score:
-                best_score = score
-                best_state = self.model.state_dict()
-                history.best_epoch = epoch
-                stall = 0
-            else:
-                stall += 1
-                if stall >= self.patience:
-                    break
-
-        self.model.load_state_dict(best_state)
-        history.seconds_per_batch = float(np.mean(batch_times)) if batch_times else 0.0
-        history.prediction_seconds_per_sample = self._time_prediction(validation)
-        return history
-
-    # ------------------------------------------------------------------
-    def _train_step(self, batch, labels):
-        """Forward + backward for one minibatch; returns the loss value.
-
-        Under ``anomaly_mode`` the whole step runs inside
-        :class:`~repro.nn.debug.detect_anomaly`, so the first NaN/Inf
-        raises at the op that produced it rather than surfacing later as
-        a garbage loss.
-        """
-        if self.anomaly_mode:
-            with nn.detect_anomaly():
-                return self._forward_backward(batch, labels)
-        return self._forward_backward(batch, labels)
-
-    def _forward_backward(self, batch, labels):
-        logits = self.model.forward_batch(batch)
-        if self.num_classes > 1:
-            loss = cross_entropy(logits, labels.astype(int))
-        else:
-            loss = bce_with_logits(logits, labels.astype(float))
-        loss.backward()
-        return loss.item()
-
-    # ------------------------------------------------------------------
     def predict_proba(self, dataset):
-        """Predicted probabilities per admission.
-
-        Binary tasks return a vector of positive-class probabilities;
-        multi-class tasks return an (N, K) softmax matrix.
-
-        The whole pass runs under :class:`~repro.nn.tensor.no_grad`, so
-        no backward-graph state (parents / closures /
-        ``requires_grad=True`` outputs) is ever built for evaluation
-        batches — ``tests/train/test_eval_no_grad.py`` pins this with
-        the op profiler.  The model's train/eval mode is restored to
-        whatever it was on entry rather than forced back to training.
-        """
-        was_training = self.model.training
-        self.model.eval()
-        outputs = []
-        with nn.no_grad():
-            for batch, _ in iterate_batches(dataset, self.task,
-                                            self.batch_size):
-                logits = self.model.forward_batch(batch).data
-                if self.num_classes > 1:
-                    shifted = logits - logits.max(axis=-1, keepdims=True)
-                    exped = np.exp(shifted)
-                    outputs.append(exped / exped.sum(axis=-1, keepdims=True))
-                else:
-                    outputs.append(1.0 / (1.0 + np.exp(-logits)))
-        self.model.train(was_training)
-        return np.concatenate(outputs)
+        """Predicted probabilities per admission (engine pass-through)."""
+        return self.engine.predict_proba(dataset)
 
     def evaluate(self, dataset):
-        """Task metrics of the current weights on a dataset.
+        """Task metrics of the current weights (engine pass-through)."""
+        return self.engine.evaluate(dataset)
 
-        Binary tasks report the paper's triple (BCE / AUC-ROC / AUC-PR);
-        multi-class tasks report cross-entropy and accuracy.
-        """
-        scores = self.predict_proba(dataset)
-        labels = dataset.labels(self.task)
-        if self.num_classes > 1:
-            picked = np.clip(scores[np.arange(len(labels)), labels.astype(int)],
-                             1e-12, None)
-            return {
-                "ce": float(-np.log(picked).mean()),
-                "accuracy": float((scores.argmax(axis=-1) == labels).mean()),
-            }
-        return evaluate_all(labels, scores)
-
-    def _time_prediction(self, dataset):
-        if len(dataset) == 0:
-            return 0.0
-        probe = dataset.subset(np.arange(min(len(dataset), 4 * self.batch_size)))
-        was_training = self.model.training
-        self.model.eval()
-        started = time.perf_counter()
-        with nn.no_grad():
-            for batch, _ in iterate_batches(probe, self.task, self.batch_size):
-                self.model.forward_batch(batch)
-        elapsed = time.perf_counter() - started
-        self.model.train(was_training)
-        return elapsed / len(probe)
+    @property
+    def history(self):
+        """The engine's accumulated :class:`TrainingHistory`."""
+        return self.engine.history

@@ -1,7 +1,6 @@
 """Tests of ConCare, including the vectorized per-feature GRU equivalence."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.baselines import ConCare, PerFeatureGRU

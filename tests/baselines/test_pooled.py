@@ -1,9 +1,7 @@
 """Tests of LR, FM, and AFM, including the FM linear-time identity."""
 
 import numpy as np
-import pytest
 
-from repro import nn
 from repro.baselines.pooled import (AttentionalFM, FactorizationMachine,
                                     LogisticRegression, pooled_input)
 from repro.data import NUM_FEATURES

@@ -1,7 +1,6 @@
 """Tests of the SAnD baseline and its dense interpolation."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import SAnD
 from repro.baselines.sand import dense_interpolation_weights

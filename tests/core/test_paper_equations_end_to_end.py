@@ -7,7 +7,6 @@ demands agreement to ~1e-9, pinning the implementation to the paper.
 """
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.core.elda_net import ELDANet

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import (NUM_FEATURES, NUM_TIME_STEPS, SyntheticEMRGenerator,
-                        archetype_by_name, feature_index, make_patient_a)
+                        feature_index, make_patient_a)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,49 @@
+"""Shared probability/loss helpers (used by the engine's eval path)."""
+
+import numpy as np
+
+from repro.metrics import (evaluate_multiclass, multiclass_ce, sigmoid_probs,
+                           softmax_probs)
+
+
+class TestSoftmaxProbs:
+    def test_rows_sum_to_one(self):
+        probs = softmax_probs(np.random.default_rng(0).normal(size=(5, 7)))
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+        assert (probs > 0).all()
+
+    def test_shift_invariance_and_large_logits(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax_probs(logits),
+                                   softmax_probs(logits + 1000.0))
+        assert np.isfinite(softmax_probs(np.array([[1e4, -1e4]]))).all()
+
+
+class TestSigmoidProbs:
+    def test_matches_closed_form(self):
+        z = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid_probs(z), 1 / (1 + np.exp(-z)))
+
+    def test_range(self):
+        assert ((sigmoid_probs(np.array([-50.0, 0.0, 50.0])) >= 0).all())
+
+
+class TestMulticlassCE:
+    def test_perfect_prediction_is_zero(self):
+        probs = np.eye(3)
+        assert multiclass_ce(probs, np.arange(3)) == 0.0
+
+    def test_uniform_is_log_k(self):
+        probs = np.full((4, 5), 0.2)
+        np.testing.assert_allclose(multiclass_ce(probs, np.zeros(4)),
+                                   np.log(5))
+
+    def test_zero_probability_is_clipped_finite(self):
+        probs = np.array([[0.0, 1.0]])
+        assert np.isfinite(multiclass_ce(probs, np.array([0])))
+
+    def test_evaluate_multiclass_pair(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        out = evaluate_multiclass(probs, np.array([0, 1]))
+        assert set(out) == {"ce", "accuracy"}
+        assert out["accuracy"] == 1.0

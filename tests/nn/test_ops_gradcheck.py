@@ -6,7 +6,6 @@ inputs, including broadcasting shapes.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,107 @@
+"""Optimizer and state-tree serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialization import (flatten_state, load_state, save_state,
+                                    unflatten_state)
+
+
+def _params(shapes=((3, 2), (4,))):
+    return [nn.Parameter(np.random.default_rng(i).normal(size=s))
+            for i, s in enumerate(shapes)]
+
+
+def _take_steps(optimizer, params, n=3):
+    rng = np.random.default_rng(42)
+    for _ in range(n):
+        for p in params:
+            p.grad = rng.normal(size=p.data.shape)
+        optimizer.step()
+
+
+class TestOptimizerStateDict:
+    @pytest.mark.parametrize("factory", [
+        lambda ps: nn.Adam(ps, lr=1e-3),
+        lambda ps: nn.SGD(ps, lr=0.01, momentum=0.9),
+        lambda ps: nn.RMSProp(ps, lr=1e-3),
+    ])
+    def test_round_trip_produces_identical_updates(self, factory):
+        params_a = _params()
+        opt_a = factory(params_a)
+        _take_steps(opt_a, params_a)
+
+        # Clone into a fresh optimizer over identical parameter values.
+        params_b = [nn.Parameter(p.data.copy()) for p in params_a]
+        opt_b = factory(params_b)
+        opt_b.load_state_dict(opt_a.state_dict())
+
+        # One more identical step must produce identical parameters.
+        rng_a, rng_b = (np.random.default_rng(7) for _ in range(2))
+        for p, r in ((params_a, rng_a), (params_b, rng_b)):
+            for param in p:
+                param.grad = r.normal(size=param.data.shape)
+        opt_a.step()
+        opt_b.step()
+        for pa, pb in zip(params_a, params_b):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_adam_state_contents(self):
+        params = _params()
+        opt = nn.Adam(params, lr=1e-3)
+        _take_steps(opt, params, n=2)
+        state = opt.state_dict()
+        assert state["step_count"] == 2
+        assert len(state["m"]) == len(params)
+        assert state["m"][0].shape == params[0].data.shape
+
+    def test_shape_mismatch_rejected(self):
+        opt = nn.Adam(_params(), lr=1e-3)
+        state = opt.state_dict()
+        state["m"][0] = np.zeros((9, 9))
+        with pytest.raises(ValueError, match="shape"):
+            opt.load_state_dict(state)
+
+    def test_slot_count_mismatch_rejected(self):
+        opt = nn.Adam(_params(), lr=1e-3)
+        state = opt.state_dict()
+        state["v"] = state["v"][:1]
+        with pytest.raises(ValueError, match="slots"):
+            opt.load_state_dict(state)
+
+    def test_lr_is_restored(self):
+        opt = nn.Adam(_params(), lr=1e-3)
+        state = opt.state_dict()
+        opt.lr = 0.5
+        opt.load_state_dict(state)
+        assert opt.lr == 1e-3
+
+
+class TestStateTreeSerialization:
+    def test_flatten_unflatten_inverse(self):
+        tree = {"lr": 0.1, "step_count": 5,
+                "m": [np.arange(3.0), np.eye(2)],
+                "nested": {"a": [1.0, 2.0]}}
+        flat = flatten_state(tree)
+        assert set(flat) == {"lr", "step_count", "m.0", "m.1",
+                             "nested.a.0", "nested.a.1"}
+        back = unflatten_state(flat)
+        assert back["lr"] == 0.1 and back["step_count"] == 5
+        np.testing.assert_array_equal(back["m"][1], np.eye(2))
+        assert back["nested"]["a"] == [1.0, 2.0]
+
+    def test_npz_round_trip(self, tmp_path):
+        tree = {"lr": 1e-3, "m": [np.arange(4.0).reshape(2, 2)]}
+        path = tmp_path / "state.npz"
+        save_state(path, tree)
+        back = load_state(path)
+        assert back["lr"] == 1e-3
+        np.testing.assert_array_equal(back["m"][0],
+                                      np.arange(4.0).reshape(2, 2))
+
+    def test_ambiguous_keys_rejected(self):
+        with pytest.raises(ValueError, match="ambiguous"):
+            flatten_state({"a.b": 1.0})
+        with pytest.raises(ValueError, match="ambiguous"):
+            flatten_state({"01": 1.0})

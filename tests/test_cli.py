@@ -102,3 +102,39 @@ class TestInterpretParser:
         args = build_parser().parse_args(["interpret", "--hour", "35"])
         assert args.hour == 35
         assert args.command == "interpret"
+
+
+class TestRunDirAndResume:
+    def test_parses_run_dir_and_resume(self):
+        args = build_parser().parse_args(
+            ["train", "--run-dir", "runs/x", "--resume"])
+        assert args.run_dir == "runs/x"
+        assert args.resume is True
+
+    def test_resume_defaults_off(self):
+        args = build_parser().parse_args(["train"])
+        assert args.resume is False
+        assert args.run_dir is None
+
+    def test_resume_without_run_dir_exits(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "LR", "--resume"], out=io.StringIO())
+
+    def test_run_dir_leaves_artifacts_and_resumes(self, tmp_path):
+        run_dir = tmp_path / "run"
+        out = io.StringIO()
+        code = main(["train", "--model", "LR", "--epochs", "2",
+                     "--run-dir", str(run_dir)], out=out)
+        assert code == 0
+        assert "run dir" in out.getvalue()
+        assert (run_dir / "config.json").exists()
+        assert (run_dir / "metrics.jsonl").exists()
+        assert (run_dir / "checkpoints" / "last" / "weights.npz").exists()
+
+        out = io.StringIO()
+        code = main(["train", "--model", "LR", "--epochs", "4",
+                     "--run-dir", str(run_dir), "--resume"], out=out)
+        assert code == 0
+        assert "4 epochs" in out.getvalue()
+        lines = (run_dir / "metrics.jsonl").read_text().splitlines()
+        assert len(lines) == 4  # 2 original + 2 resumed

@@ -1,0 +1,163 @@
+"""Unit tests of the engine's event protocol and individual callbacks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import LogisticRegression
+from repro.data import NUM_FEATURES
+from repro.train import (Callback, EarlyStopping, Engine, Trainer,
+                         monitor_score)
+
+
+def _engine(model, callbacks, **kwargs):
+    kwargs.setdefault("batch_size", 16)
+    kwargs.setdefault("max_epochs", 2)
+    return Engine(model, "mortality", nn.Adam(model.parameters(), lr=1e-3),
+                  callbacks=callbacks, **kwargs)
+
+
+class Recorder(Callback):
+    """Records every event it receives, in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_fit_start(self, engine):
+        self.events.append("fit_start")
+
+    def on_epoch_start(self, engine, epoch):
+        self.events.append(f"epoch_start:{epoch}")
+
+    def on_batch_start(self, engine, epoch, batch_index):
+        self.events.append(f"batch_start:{epoch}.{batch_index}")
+
+    def on_backward_end(self, engine, epoch, batch_index, loss):
+        self.events.append(f"backward_end:{epoch}.{batch_index}")
+        assert np.isfinite(loss)
+
+    def on_batch_end(self, engine, epoch, batch_index, loss):
+        self.events.append(f"batch_end:{epoch}.{batch_index}")
+
+    def on_epoch_end(self, engine, epoch, logs):
+        self.events.append(f"epoch_end:{epoch}")
+        assert {"train_loss", "val_loss",
+                "val_auc_pr", "val_auc_roc"} <= set(logs)
+
+    def on_fit_end(self, engine):
+        self.events.append("fit_end")
+
+
+class TestEventProtocol:
+    def test_event_order_and_coverage(self, tiny_splits):
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(0))
+        recorder = Recorder()
+        engine = _engine(model, [recorder], max_epochs=2, batch_size=32)
+        engine.fit(tiny_splits.train, tiny_splits.validation)
+
+        events = recorder.events
+        assert events[0] == "fit_start"
+        assert events[-1] == "fit_end"
+        assert events[1] == "epoch_start:0"
+        assert "epoch_end:0" in events and "epoch_end:1" in events
+        # Each batch produces start -> backward_end -> end, in order.
+        first = events.index("batch_start:0.0")
+        assert events[first:first + 3] == [
+            "batch_start:0.0", "backward_end:0.0", "batch_end:0.0"]
+
+    def test_callback_can_stop_training(self, tiny_splits):
+        class StopAfterFirst(Callback):
+            def on_epoch_end(self, engine, epoch, logs):
+                engine.should_stop = True
+                engine.stop_reason = "test stop"
+
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(1))
+        engine = _engine(model, [StopAfterFirst()], max_epochs=10)
+        history = engine.fit(tiny_splits.train, tiny_splits.validation)
+        assert history.num_epochs == 1
+        assert engine.stop_reason == "test stop"
+
+    def test_batch_end_emitted_when_step_raises(self, tiny_splits):
+        class Boom(Callback):
+            def on_backward_end(self, engine, epoch, batch_index, loss):
+                raise RuntimeError("boom")
+
+        recorder = Recorder()
+
+        class QuietRecorder(Recorder):
+            def on_backward_end(self, engine, epoch, batch_index, loss):
+                pass
+
+        recorder = QuietRecorder()
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(2))
+        # Recorder first so it still sees batch_end after Boom raises.
+        engine = _engine(model, [recorder, Boom()])
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.fit(tiny_splits.train, tiny_splits.validation)
+        assert "batch_end:0.0" in recorder.events
+
+
+class TestMonitorScore:
+    def test_loss_monitor_negates(self):
+        assert monitor_score({"val_loss": 0.25, "val_auc_pr": 0.9},
+                             "loss") == -0.25
+
+    def test_aucpr_monitor_reads_directly(self):
+        assert monitor_score({"val_loss": 0.25, "val_auc_pr": 0.9},
+                             "auc_pr") == 0.9
+
+
+class TestEarlyStoppingNaNFallback:
+    def test_all_nan_monitor_keeps_last_epoch_weights(self, tiny_splits):
+        """Regression: an all-NaN monitor used to silently restore the
+        *initial* weights with best_epoch == -1; it must now keep the
+        last epoch's weights (training did happen) and warn."""
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(3))
+        initial = {k: v.copy() for k, v in model.state_dict().items()}
+
+        class NaNMonitor(EarlyStopping):
+            def on_epoch_end(self, engine, epoch, logs):
+                logs = dict(logs, val_auc_pr=float("nan"))
+                super().on_epoch_end(engine, epoch, logs)
+
+        early = NaNMonitor(monitor="auc_pr", patience=10)
+        engine = _engine(model, [early], max_epochs=3)
+        with pytest.warns(RuntimeWarning, match="NaN every epoch"):
+            history = engine.fit(tiny_splits.train, tiny_splits.validation)
+
+        assert history.num_epochs == 3
+        assert history.best_epoch == 2  # falls back to the last epoch
+        trained = model.state_dict()
+        assert any(not np.array_equal(trained[k], initial[k])
+                   for k in trained)
+
+    def test_improving_monitor_still_restores_best(self, tiny_splits):
+        model = LogisticRegression(NUM_FEATURES, np.random.default_rng(4))
+        trainer = Trainer(model, "mortality", max_epochs=4, patience=4,
+                          batch_size=32, monitor="loss")
+        history = trainer.fit(tiny_splits.train, tiny_splits.validation)
+        assert history.best_epoch == int(np.argmin(history.val_loss))
+
+
+class TestAnomalyGuardOrdering:
+    def test_nonfinite_loss_aborts_before_optimizer_step(self, tiny_splits):
+        """The guard fires on on_backward_end, i.e. before clip/step."""
+        stepped = []
+
+        class NaNModel(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = nn.Parameter(np.array([np.nan]))
+
+            def forward_batch(self, batch):
+                pooled = nn.Tensor(batch.values.mean(axis=(1, 2)))
+                return pooled * self.weight
+
+        model = NaNModel()
+        trainer = Trainer(model, "mortality", max_epochs=1, batch_size=16)
+        original_step = trainer.optimizer.step
+        trainer.optimizer.step = lambda: (stepped.append(1),
+                                          original_step())
+        with pytest.raises(nn.AnomalyError, match="non-finite"):
+            trainer.fit(tiny_splits.train, tiny_splits.validation)
+        assert stepped == []
