@@ -5,14 +5,17 @@ from .dipole import Dipole
 from .gru import GRUClassifier
 from .grud import GRUD
 from .pooled import AttentionalFM, FactorizationMachine, LogisticRegression
-from .registry import ALL_MODEL_NAMES, BASELINE_NAMES, build_model
+from .registry import (ALL_MODEL_NAMES, BASELINE_NAMES, MODEL_ALIASES,
+                       UnknownModelError, build_model, canonical_name)
 from .retain import RETAIN
 from .sand import SAnD
+from .spec import ModelSpec
 from .stagenet import StageNet
 
 __all__ = [
     "LogisticRegression", "FactorizationMachine", "AttentionalFM",
     "GRUClassifier", "RETAIN", "Dipole", "SAnD", "StageNet", "GRUD",
     "ConCare", "PerFeatureGRU",
-    "BASELINE_NAMES", "ALL_MODEL_NAMES", "build_model",
+    "BASELINE_NAMES", "ALL_MODEL_NAMES", "MODEL_ALIASES",
+    "UnknownModelError", "canonical_name", "build_model", "ModelSpec",
 ]

@@ -17,6 +17,7 @@ import numpy as np
 from .. import nn
 from ..nn import ops
 from ..nn.layers import MultiHeadSelfAttention
+from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
 
 __all__ = ["ConCare", "PerFeatureGRU"]
@@ -60,7 +61,7 @@ class PerFeatureGRU(Module):
         return h.transpose((1, 0, 2))                    # (B, C, H)
 
 
-class ConCare(Module):
+class ConCare(Module, InferenceMixin):
     """Per-feature GRUs + cross-feature self-attention.
 
     Default sizes land near the ~183k parameters of the paper's Table III

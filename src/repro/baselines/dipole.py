@@ -22,6 +22,7 @@ from .. import nn
 from ..nn import ops
 from ..nn.layers import (AdditiveAttention, BiGRU, Dense, GeneralAttention,
                          LocationAttention)
+from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
 
 __all__ = ["Dipole"]
@@ -29,7 +30,7 @@ __all__ = ["Dipole"]
 _VARIANTS = ("location", "general", "concat")
 
 
-class Dipole(Module):
+class Dipole(Module, InferenceMixin):
     """Attention-based bidirectional GRU.
 
     Parameters

@@ -11,12 +11,13 @@ import numpy as np
 from .. import nn
 from ..nn import ops
 from ..nn.layers import GRU
+from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
 
 __all__ = ["GRUClassifier"]
 
 
-class GRUClassifier(Module):
+class GRUClassifier(Module, InferenceMixin):
     """GRU encoder with a linear output head.
 
     With ``hidden_size=64`` on 37 features this lands at the paper's

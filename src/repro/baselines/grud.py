@@ -19,12 +19,13 @@ import numpy as np
 from .. import nn
 from ..nn import ops
 from ..nn.layers import GRUCell
+from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
 
 __all__ = ["GRUD"]
 
 
-class GRUD(Module):
+class GRUD(Module, InferenceMixin):
     """Decay-augmented GRU for irregularly observed series.
 
     Operates on the dataset's LOCF-imputed values (which equal the last

@@ -17,6 +17,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import ops
+from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
 
 __all__ = ["LogisticRegression", "FactorizationMachine", "AttentionalFM",
@@ -28,7 +29,7 @@ def pooled_input(batch):
     return nn.Tensor(batch.values.mean(axis=1))
 
 
-class LogisticRegression(Module):
+class LogisticRegression(Module, InferenceMixin):
     """Plain logistic regression on time-averaged features."""
 
     def __init__(self, num_features, rng):
@@ -41,7 +42,7 @@ class LogisticRegression(Module):
         return (ops.matmul(x, self.weight) + self.bias).reshape(-1)
 
 
-class FactorizationMachine(Module):
+class FactorizationMachine(Module, InferenceMixin):
     """Second-order factorization machine (paper Eq. 1).
 
     The pairwise term uses Rendle's linear-time identity:
@@ -65,7 +66,7 @@ class FactorizationMachine(Module):
         return self.bias.reshape(1) + linear_term + pairwise
 
 
-class AttentionalFM(Module):
+class AttentionalFM(Module, InferenceMixin):
     """Attentional factorization machine (Xiao et al., IJCAI 2017).
 
     Each pairwise interaction ``(v_i x_i) ⊙ (v_j x_j)`` is scored by a

@@ -13,12 +13,13 @@ import numpy as np
 from .. import nn
 from ..nn import ops
 from ..nn.layers import GRU, Dense
+from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
 
 __all__ = ["RETAIN"]
 
 
-class RETAIN(Module):
+class RETAIN(Module, InferenceMixin):
     """Reverse-time attention model.
 
     Sizes default to land near the ~13k parameters the paper's Table III

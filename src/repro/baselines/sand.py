@@ -17,6 +17,7 @@ import numpy as np
 from .. import nn
 from ..nn import ops
 from ..nn.layers import Dense, LayerNorm, MultiHeadSelfAttention, positional_encoding
+from ..nn.inference import InferenceMixin
 from ..nn.module import Module, ModuleList, Parameter
 
 __all__ = ["SAnD"]
@@ -50,7 +51,7 @@ def dense_interpolation_weights(steps, factor):
     return weights
 
 
-class SAnD(Module):
+class SAnD(Module, InferenceMixin):
     """Masked self-attention classifier for clinical sequences.
 
     Default sizes land near the ~106k parameters of the paper's Table III.

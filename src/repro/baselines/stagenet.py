@@ -18,12 +18,13 @@ import numpy as np
 from .. import nn
 from ..nn import ops
 from ..nn.layers import Conv1D, Dense, LSTMCell
+from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
 
 __all__ = ["StageNet"]
 
 
-class StageNet(Module):
+class StageNet(Module, InferenceMixin):
     """Stage-aware LSTM with convolutional progression patterns.
 
     Default sizes land near the ~85k parameters of the paper's Table III.

@@ -19,6 +19,15 @@ Subcommands
     Profile a training run with the per-op profiler (repro.bench), print
     the sorted forward/backward timing table, and write a
     ``BENCH_*.json`` report (see docs/PERFORMANCE.md).
+``predict``
+    Load a trained run directory (``--run-dir`` from ``train``) into a
+    ``repro.serve.Predictor`` and print per-admission probabilities for
+    a cohort split — bit-identical to the training-time evaluation pass.
+``serve``
+    Run the micro-batched inference runtime against a trained run
+    directory under a synthetic multi-client request load; print serving
+    metrics (throughput, p50/p95 latency, batch-size histogram, cache
+    hit rate) and write a ``SERVE_*.json`` report (see docs/SERVING.md).
 
 Every command accepts ``--scale {small,medium,paper}``; the default
 follows the ``REPRO_SCALE`` environment variable.
@@ -108,6 +117,45 @@ def build_parser():
     bench.add_argument("--no-json", action="store_true",
                        help="print the table only, write no report")
 
+    predict = commands.add_parser(
+        "predict", help="print probabilities from a trained run directory")
+    predict.add_argument("--run-dir", required=True, metavar="DIR",
+                         help="run directory from `repro train --run-dir`")
+    predict.add_argument("--checkpoint", default="best",
+                         choices=("best", "last"),
+                         help="which checkpoint's weights to serve")
+    predict.add_argument("--cohort", default="physionet2012",
+                         choices=("physionet2012", "mimic3"))
+    predict.add_argument("--split", default="test",
+                         choices=("train", "validation", "test"))
+    predict.add_argument("--limit", type=int, default=10, metavar="N",
+                         help="print at most N rows (0 = all)")
+
+    serve = commands.add_parser(
+        "serve", help="micro-batched serving demo over a trained run dir")
+    serve.add_argument("--run-dir", required=True, metavar="DIR",
+                       help="run directory from `repro train --run-dir`")
+    serve.add_argument("--checkpoint", default="best",
+                       choices=("best", "last"))
+    serve.add_argument("--requests", type=int, default=256,
+                       help="total requests to serve")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent client threads")
+    serve.add_argument("--pool", type=int, default=64,
+                       help="distinct admissions in the request stream "
+                       "(repeats exercise the preprocessing cache)")
+    serve.add_argument("--max-batch-size", type=int, default=32)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--cache-capacity", type=int, default=4096)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--baseline", action="store_true",
+                       help="also time the single-request path and "
+                       "report the micro-batching speedup")
+    serve.add_argument("--out", default=".", metavar="DIR",
+                       help="directory for the SERVE_*.json report")
+    serve.add_argument("--no-json", action="store_true",
+                       help="print the summary only, write no report")
+
     return parser
 
 
@@ -160,6 +208,11 @@ def _cmd_train(args, out):
               f"{history.num_epochs} epochs "
               f"(best {history.best_epoch})\n")
     if args.run_dir:
+        # Persist the train-split preprocessing statistics next to the
+        # checkpoints so `repro serve` can score raw admissions through
+        # the exact training pipeline (repro.serve.PreprocessCache).
+        from pathlib import Path
+        splits.standardizer.save(Path(args.run_dir) / "standardizer.npz")
         out.write(f"  run dir : {args.run_dir}\n")
     out.write(f"  params  : {model.num_parameters()}\n")
     out.write(f"  BCE     : {metrics['bce']:.4f}\n")
@@ -234,12 +287,132 @@ def _cmd_bench(args, out):
     return 0
 
 
+def _cmd_predict(args, out):
+    from .data import load_cohort
+    from .serve import Predictor
+
+    predictor = Predictor.load(args.run_dir, checkpoint=args.checkpoint)
+    splits = load_cohort(args.cohort, scale=args.scale)
+    dataset = getattr(splits, args.split)
+    probabilities = predictor.predict_proba(dataset)
+    labels = predictor.predict(dataset)
+    spec = predictor.spec
+    out.write(f"{spec.name if spec else '?'} from {args.run_dir} "
+              f"({args.checkpoint} checkpoint) on "
+              f"{args.cohort}/{args.split}: {len(dataset)} admissions\n")
+    limit = len(dataset) if args.limit == 0 else min(args.limit, len(dataset))
+    for i in range(limit):
+        if probabilities.ndim == 1:
+            out.write(f"  admission {i:>4}  p={probabilities[i]:.6f}  "
+                      f"label={labels[i]}\n")
+        else:
+            row = " ".join(f"{p:.4f}" for p in probabilities[i])
+            out.write(f"  admission {i:>4}  p=[{row}]  label={labels[i]}\n")
+    if limit < len(dataset):
+        out.write(f"  ... ({len(dataset) - limit} more; --limit 0 for all)\n")
+    return 0
+
+
+def _cmd_serve(args, out):
+    import threading
+    from pathlib import Path
+    from time import perf_counter
+
+    from .data import SyntheticEMRGenerator
+    from .data.preprocess import Standardizer
+    from .serve import MicroBatcher, Predictor, PreprocessCache, ServeMetrics
+
+    metrics = ServeMetrics(label=f"serve-{Path(args.run_dir).name}")
+    predictor = Predictor.load(args.run_dir, checkpoint=args.checkpoint,
+                               metrics=metrics)
+    standardizer_path = Path(args.run_dir) / "standardizer.npz"
+    if not standardizer_path.exists():
+        raise SystemExit(f"no standardizer.npz under {args.run_dir}; "
+                         "re-train with `repro train --run-dir` to produce "
+                         "a servable run directory")
+    cache = PreprocessCache(Standardizer.load(standardizer_path),
+                            capacity=args.cache_capacity, metrics=metrics)
+
+    # Synthetic request stream: `--requests` lookups cycling over a pool
+    # of `--pool` distinct admissions (repeat traffic -> cache hits).
+    generator = SyntheticEMRGenerator()
+    pool = generator.sample_many(args.pool,
+                                 np.random.default_rng(args.seed))
+    request_ids = [i % args.pool for i in range(args.requests)]
+
+    single_seconds = None
+    if args.baseline:
+        probe = [cache.get(i, pool[i].values) for i in range(args.pool)]
+        started = perf_counter()
+        for row in probe:
+            predictor.predict_logits(row)
+        single_seconds = (perf_counter() - started) / len(probe)
+
+    spec = predictor.spec
+    out.write(f"serving {spec.name if spec else '?'} from {args.run_dir}: "
+              f"{args.requests} requests, {args.clients} clients, "
+              f"max batch {args.max_batch_size}, "
+              f"max wait {args.max_wait_ms:.1f} ms\n")
+
+    errors = []
+    started = perf_counter()
+    with MicroBatcher(predictor, max_batch_size=args.max_batch_size,
+                      max_wait_ms=args.max_wait_ms,
+                      metrics=metrics) as batcher:
+        def client(worker_index):
+            for request_index in range(worker_index, args.requests,
+                                       args.clients):
+                admission_id = request_ids[request_index]
+                try:
+                    row = cache.get(admission_id,
+                                    pool[admission_id].values)
+                    batcher.predict_proba(row, timeout=60)
+                except Exception as error:  # surfaced after the run
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=client, args=(k,))
+                   for k in range(args.clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    elapsed = perf_counter() - started
+    if errors:
+        raise SystemExit(f"serving failed: {errors[0]!r}")
+
+    throughput = args.requests / elapsed
+    out.write(metrics.table() + "\n")
+    out.write(f"throughput      : {throughput:.1f} req/s\n")
+    extra = {
+        "run_dir": str(args.run_dir),
+        "model": spec.name if spec else None,
+        "requests": args.requests,
+        "clients": args.clients,
+        "max_batch_size": args.max_batch_size,
+        "max_wait_ms": args.max_wait_ms,
+        "throughput_req_per_sec": throughput,
+    }
+    if single_seconds is not None:
+        speedup = throughput * single_seconds
+        out.write(f"single-request  : {1.0 / single_seconds:.1f} req/s "
+                  f"(micro-batching speedup {speedup:.1f}x)\n")
+        extra["single_request_req_per_sec"] = 1.0 / single_seconds
+        extra["speedup"] = speedup
+    if not args.no_json:
+        path = metrics.save(directory=args.out, extra=extra)
+        out.write(f"report written to {path}\n")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "train": _cmd_train,
     "compare": _cmd_compare,
     "interpret": _cmd_interpret,
     "bench": _cmd_bench,
+    "predict": _cmd_predict,
+    "serve": _cmd_serve,
 }
 
 

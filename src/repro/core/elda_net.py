@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from .. import nn
 from ..nn.layers import GRU
+from ..nn.inference import InferenceMixin
 from ..nn.module import Module
 from .embedding import build_embedding
 from .feature_interaction import FeatureInteractionModule
@@ -39,7 +40,7 @@ VARIANT_NAMES = ("ELDA-Net", "ELDA-Net-T", "ELDA-Net-Fbi", "ELDA-Net-Fbi*",
                  "ELDA-Net-Ffm", "ELDA-Net-Ffm*")
 
 
-class ELDANet(Module):
+class ELDANet(Module, InferenceMixin):
     """The ELDA-Net model (paper Section IV).
 
     Parameters

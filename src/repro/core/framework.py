@@ -85,7 +85,7 @@ class ELDA:
 
     def predict_risk(self, dataset):
         """Predicted outcome probabilities for each admission."""
-        return self.trainer.predict_proba(dataset)
+        return self.trainer.engine.predict_proba(dataset)
 
     def evaluate(self, dataset):
         """The paper's metric triple on a dataset."""

@@ -88,6 +88,29 @@ class Standardizer:
         if self.mean is None:
             raise RuntimeError("Standardizer used before fit()")
 
+    # ------------------------------------------------------------------
+    # Persistence (run directories / serving)
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Persist the fitted statistics as an ``.npz`` archive.
+
+        Training runs store this next to their checkpoints
+        (``run_dir/standardizer.npz``) so the serving layer's
+        preprocessing cache can replay the exact train-split pipeline on
+        raw admissions.
+        """
+        self._check_fitted()
+        np.savez_compressed(path, mean=self.mean, std=self.std)
+
+    @classmethod
+    def load(cls, path):
+        """Rebuild a fitted standardizer written by :meth:`save`."""
+        with np.load(path) as archive:
+            standardizer = cls()
+            standardizer.mean = archive["mean"]
+            standardizer.std = archive["std"]
+        return standardizer
+
 
 def impute(values, mask):
     """Fill missing entries: global mean before first observation, LOCF after.

@@ -11,7 +11,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..baselines import build_model
+from ..baselines import ModelSpec, build_model
 from ..data import NUM_FEATURES, load_cohort
 from ..train import Trainer
 
@@ -33,7 +33,11 @@ def train_and_evaluate(model_name, splits, task, config, seed,
     rng = np.random.default_rng(seed)
     kwargs = dict(config.model_overrides)
     kwargs.update(model_kwargs or {})
-    model = build_model(model_name, NUM_FEATURES, rng, **kwargs)
+    # The spec (not ad-hoc kwargs) is the durable identity of the cell:
+    # it lands in the run directory's config.json, from which
+    # repro.serve.Predictor can rebuild the exact architecture.
+    spec = ModelSpec(model_name, NUM_FEATURES, kwargs)
+    model = build_model(spec, rng=rng)
     trainer = Trainer(model, task, run_dir=run_dir, callbacks=callbacks,
                       **config.trainer_kwargs(seed))
     history = trainer.fit(splits.train, splits.validation)

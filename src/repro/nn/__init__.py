@@ -15,6 +15,7 @@ exhaustive test sweep gradchecks mechanically (see docs/CORRECTNESS.md).
 from . import debug, gradcheck, init, losses, ops, schedules
 from .debug import AnomalyError, audit_backward, detect_anomaly
 from .gradcheck import GradcheckFailure, check_module
+from .inference import InferenceMixin
 from .module import Module, ModuleList, Parameter
 from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
 from .serialization import load_state, load_weights, save_state, save_weights
@@ -22,7 +23,7 @@ from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
-    "Module", "ModuleList", "Parameter",
+    "Module", "ModuleList", "Parameter", "InferenceMixin",
     "Optimizer", "SGD", "Adam", "RMSProp", "clip_grad_norm",
     "save_weights", "load_weights", "save_state", "load_state",
     "detect_anomaly", "AnomalyError", "audit_backward",

@@ -1,0 +1,81 @@
+"""Shared inference protocol for batch classifiers.
+
+Every registry model implements training through
+``forward_batch(batch) -> logits``; :class:`InferenceMixin` derives the
+*serving* surface from that single method, so all models satisfy one
+``Predictor`` protocol (see :mod:`repro.serve`):
+
+* :meth:`~InferenceMixin.predict_logits` — raw logits as a numpy array,
+  computed in ``eval()`` mode under :class:`~repro.nn.tensor.no_grad`;
+* :meth:`~InferenceMixin.predict_proba` — probabilities (sigmoid for 1-D
+  binary logits, row-stochastic softmax for 2-D multi-class logits);
+* :meth:`~InferenceMixin.predict` — hard labels.
+
+The mixin enforces the no-grad fast path: if the forward somehow wires
+its output into the autodiff graph (a leaked ``requires_grad`` tensor,
+an op bypassing the global switch), ``predict_logits`` raises instead of
+silently serving with graph-building overhead.  The probability math is
+shared with the training engine (:mod:`repro.metrics.probability`), so
+training-time validation scores and served scores agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import no_grad
+
+__all__ = ["InferenceMixin"]
+
+
+class InferenceMixin:
+    """Inference methods derived from ``forward_batch``.
+
+    Mix into any :class:`~repro.nn.module.Module` subclass that
+    implements ``forward_batch(batch) -> logits``.  The host class
+    provides ``training`` / ``train()`` / ``eval()``.
+    """
+
+    def predict_logits(self, batch):
+        """Raw output logits for a batch as a plain numpy array.
+
+        Runs in ``eval()`` mode under ``no_grad`` and restores the
+        previous train/eval mode on exit.  Raises ``RuntimeError`` if
+        the forward pass built autodiff graph state — the serving fast
+        path must never pay for backward bookkeeping.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                logits = self.forward_batch(batch)
+        finally:
+            self.train(was_training)
+        if getattr(logits, "requires_grad", False) or \
+                getattr(logits, "_backward", None) is not None:
+            raise RuntimeError(
+                f"{type(self).__name__}.forward_batch built autodiff graph "
+                "state under no_grad; the inference fast path requires "
+                "graph-free forwards")
+        return np.asarray(getattr(logits, "data", logits), dtype=float)
+
+    def predict_proba(self, batch):
+        """Predicted probabilities for a batch.
+
+        1-D logits (binary classifiers) map through the logistic
+        sigmoid to a vector of positive-class probabilities; 2-D
+        logits (multi-class heads) map through a row-stochastic
+        softmax to an (N, K) matrix.
+        """
+        from ..metrics.probability import sigmoid_probs, softmax_probs
+        logits = self.predict_logits(batch)
+        if logits.ndim == 1:
+            return sigmoid_probs(logits)
+        return softmax_probs(logits)
+
+    def predict(self, batch, threshold=0.5):
+        """Hard class predictions: thresholded (binary) or argmax."""
+        probabilities = self.predict_proba(batch)
+        if probabilities.ndim == 1:
+            return (probabilities >= threshold).astype(int)
+        return probabilities.argmax(axis=-1)

@@ -1,0 +1,50 @@
+"""``repro.serve`` — the inference runtime, decoupled from training.
+
+Training's ``Trainer.predict_proba`` drags the whole training stack
+(optimizer, callbacks, gradient bookkeeping) into the inference path;
+this package is the serving half the ROADMAP's north star asks for:
+
+* :class:`Predictor` — wraps any registry model + checkpoint behind one
+  validated ``predict_proba`` / ``predict`` surface, running ``eval()``
+  forwards under ``no_grad``.  :meth:`Predictor.load` rebuilds the exact
+  trained architecture from a run directory (``config.json`` model spec
+  + Checkpointer weights).
+* :class:`MicroBatcher` — coalesces concurrent single-admission requests
+  into padded fixed-shape batches (``max_batch_size`` / ``max_wait_ms``
+  knobs), turning per-request forwards into the batched GEMMs the fused
+  kernels are optimized for, with **bit-identical** results regardless
+  of how requests were coalesced.
+* :class:`PreprocessCache` — LRU-memoized raw-admission preprocessing
+  (cleaning, train-split standardization, imputation, deltas) keyed by
+  admission id.
+* :class:`ServeMetrics` — thread-safe serving metrics (request count,
+  batch-size histogram, p50/p95 latency, cache hit rate) with
+  ``SERVE_*.json`` reports following the :mod:`repro.bench` conventions.
+
+Quickstart (see docs/SERVING.md)::
+
+    repro train --model GRU --run-dir runs/gru      # train + checkpoint
+    repro predict --run-dir runs/gru                # bulk predictions
+    repro serve --run-dir runs/gru --requests 512   # micro-batched load
+
+or in code::
+
+    from repro.serve import Predictor, MicroBatcher
+
+    predictor = Predictor.load("runs/gru")
+    probs = predictor.predict_proba(dataset)        # == Trainer bit-for-bit
+    with MicroBatcher(predictor, max_batch_size=32) as batcher:
+        p = batcher.predict_proba(one_admission)    # from many threads
+"""
+
+from .batcher import MicroBatcher, RequestHandle, ServeRequestError
+from .cache import PreprocessCache, prepare_admission
+from .metrics import ServeMetrics
+from .predictor import Predictor, load_predictor
+
+__all__ = [
+    "Predictor", "load_predictor",
+    "MicroBatcher", "RequestHandle", "ServeRequestError",
+    "PreprocessCache", "prepare_admission",
+    "ServeMetrics",
+]

@@ -1,0 +1,215 @@
+"""Micro-batching: coalesce concurrent single-admission requests.
+
+Per-request forward passes waste the hardware: a single admission drives
+tiny GEMV-shaped kernels, while the PR-2 fused kernels are tuned for
+batched GEMMs.  The :class:`MicroBatcher` sits between many caller
+threads and one :class:`~repro.serve.Predictor`:
+
+1. callers block in :meth:`MicroBatcher.predict_proba` (or get a handle
+   from :meth:`MicroBatcher.submit`) while their request sits in a queue;
+2. a worker thread drains the queue, coalescing up to ``max_batch_size``
+   requests, waiting at most ``max_wait_ms`` after the first request of
+   a batch arrives;
+3. one padded fixed-shape forward serves the whole batch and results fan
+   back out to the waiting callers.
+
+Every forward runs at exactly ``max_batch_size`` rows (zero-padded), so
+an admission's probabilities are **bit-identical** no matter which
+requests happened to share its batch — and bit-identical to a
+single-request forward through the same padded path.  BLAS picks kernels
+per GEMM shape, so this determinism is only available at a fixed shape;
+see docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from time import monotonic, perf_counter
+
+__all__ = ["MicroBatcher", "ServeRequestError"]
+
+_SENTINEL = object()
+
+
+class ServeRequestError(RuntimeError):
+    """A request failed inside the serving worker (original as cause)."""
+
+
+class _Pending:
+    """One in-flight request: the rows, a latch, and the outcome."""
+
+    __slots__ = ("rows", "event", "result", "error", "submitted_at")
+
+    def __init__(self, rows):
+        self.rows = rows
+        self.event = threading.Event()
+        self.result = None
+        self.error = None
+        self.submitted_at = perf_counter()
+
+
+class RequestHandle:
+    """Future-like handle returned by :meth:`MicroBatcher.submit`."""
+
+    def __init__(self, pending):
+        self._pending = pending
+
+    def done(self):
+        return self._pending.event.is_set()
+
+    def result(self, timeout=None):
+        """Block until the response arrives; re-raise worker failures."""
+        if not self._pending.event.wait(timeout):
+            raise TimeoutError("serving request timed out")
+        if self._pending.error is not None:
+            raise ServeRequestError(
+                "request failed in the serving worker"
+            ) from self._pending.error
+        return self._pending.result
+
+
+class MicroBatcher:
+    """Threaded request coalescer in front of a :class:`Predictor`.
+
+    Parameters
+    ----------
+    predictor:
+        The wrapped :class:`~repro.serve.Predictor`.
+    max_batch_size:
+        Upper bound on coalesced requests per forward; every forward is
+        padded to exactly this many rows (the determinism guarantee).
+    max_wait_ms:
+        How long the worker holds an under-full batch open after its
+        first request arrived.  Smaller values favor latency, larger
+        values favor batch occupancy/throughput.
+    metrics:
+        Optional :class:`~repro.serve.ServeMetrics`; receives one
+        ``record_request`` per response (queue-to-response latency) on
+        top of the predictor's per-forward ``record_batch`` events.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(self, predictor, max_batch_size=32, max_wait_ms=2.0,
+                 metrics=None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.predictor = predictor
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.metrics = metrics
+        self._queue = queue.Queue()
+        self._worker = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._worker is not None:
+            raise RuntimeError("MicroBatcher already started")
+        self._worker = threading.Thread(target=self._serve_loop,
+                                        name="repro-serve-worker",
+                                        daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self):
+        """Drain outstanding requests, then stop the worker."""
+        if self._worker is None:
+            return
+        self._queue.put(_SENTINEL)
+        self._worker.join()
+        self._worker = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(self, rows):
+        """Enqueue a request; returns a :class:`RequestHandle`.
+
+        ``rows`` is a (usually single-admission) model-ready
+        :class:`~repro.data.dataset.EMRDataset`; it may hold up to
+        ``max_batch_size`` rows.
+        """
+        if self._worker is None:
+            raise RuntimeError("MicroBatcher is not running; use it as a "
+                               "context manager or call start()")
+        if len(rows) > self.max_batch_size:
+            raise ValueError(f"request of {len(rows)} rows exceeds "
+                             f"max_batch_size={self.max_batch_size}")
+        pending = _Pending(rows)
+        self._queue.put(pending)
+        return RequestHandle(pending)
+
+    def predict_proba(self, rows, timeout=None):
+        """Blocking convenience: submit and wait for the probabilities."""
+        return self.submit(rows).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _collect_batch(self, first):
+        """Coalesce requests after ``first`` until full or deadline."""
+        batch = [first]
+        rows = len(first.rows)
+        deadline = monotonic() + self.max_wait_ms / 1000.0
+        while rows < self.max_batch_size:
+            remaining = deadline - monotonic()
+            try:
+                item = (self._queue.get_nowait() if remaining <= 0
+                        else self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                # Put the shutdown marker back for the outer loop, but
+                # serve everything already accepted first.
+                self._queue.put(_SENTINEL)
+                break
+            if rows + len(item.rows) > self.max_batch_size:
+                # Does not fit this batch; lead the next one with it.
+                self._queue.put(item)
+                break
+            batch.append(item)
+            rows += len(item.rows)
+        return batch
+
+    def _serve_loop(self):
+        from ..metrics.probability import sigmoid_probs, softmax_probs
+        from .predictor import _stack_rows
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            batch = self._collect_batch(item)
+            try:
+                stacked = (_stack_rows([p.rows for p in batch])
+                           if len(batch) > 1 else batch[0].rows)
+                # One padded forward per coalesced batch, regardless of
+                # the predictor's bulk chunk size.
+                logits = self.predictor.predict_logits(
+                    stacked, pad_to=self.max_batch_size)
+                probabilities = (sigmoid_probs(logits) if logits.ndim == 1
+                                 else softmax_probs(logits))
+            except Exception as error:  # fan the failure out to callers
+                for pending in batch:
+                    pending.error = error
+                    pending.event.set()
+                continue
+            finished = perf_counter()
+            offset = 0
+            for pending in batch:
+                n = len(pending.rows)
+                pending.result = probabilities[offset:offset + n]
+                offset += n
+                if self.metrics is not None:
+                    self.metrics.record_request(
+                        finished - pending.submitted_at)
+                pending.event.set()

@@ -1,0 +1,247 @@
+"""Checkpoint-backed inference: one ``Predictor`` for all registry models.
+
+A :class:`Predictor` wraps any model satisfying the shared inference
+protocol (:class:`repro.nn.InferenceMixin` — every registry model) and
+exposes validated, training-free ``predict_proba`` / ``predict`` over
+:class:`~repro.data.dataset.EMRDataset` batches.  Nothing from the
+training stack (optimizer, callbacks, gradient graph) is constructed or
+touched; forwards run in ``eval()`` mode under ``no_grad``.
+
+Two batching disciplines, both bit-reproducible:
+
+* **bulk** (``predict_proba(dataset)``) — chunks the dataset in order
+  with the training batch size, which reproduces
+  ``Trainer.predict_proba`` bit-for-bit (same shapes, same GEMMs);
+* **fixed-shape** (``pad_to=k``) — pads every forward to exactly ``k``
+  rows, making each admission's output independent of which other
+  admissions shared its batch.  BLAS kernels are chosen per GEMM shape,
+  so *only* a fixed shape makes dynamically coalesced micro-batches
+  bit-identical to single-request forwards — this is the mode the
+  :class:`~repro.serve.MicroBatcher` runs in.
+
+:meth:`Predictor.load` rebuilds the exact trained architecture from a
+run directory written by the training engine's Checkpointer: the
+``model_spec`` recorded in ``config.json`` names the model and its
+hyperparameters, and the ``best`` (or ``last``) checkpoint supplies the
+weights.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from ..data.dataset import EMRDataset
+
+__all__ = ["Predictor", "load_predictor"]
+
+
+def _stack_rows(datasets):
+    """Concatenate single-request datasets into one forward batch."""
+    return EMRDataset(
+        values=np.concatenate([d.values for d in datasets]),
+        mask=np.concatenate([d.mask for d in datasets]),
+        ever_observed=np.concatenate([d.ever_observed for d in datasets]),
+        deltas=np.concatenate([d.deltas for d in datasets]),
+        mortality=np.concatenate([d.mortality for d in datasets]),
+        long_stay=np.concatenate([d.long_stay for d in datasets]),
+    )
+
+
+def _pad_rows(dataset, pad_to):
+    """Zero-pad a dataset to exactly ``pad_to`` rows (labels unused)."""
+    n = len(dataset)
+    if n == pad_to:
+        return dataset
+    extra = pad_to - n
+
+    def pad(array, fill=0):
+        padding = np.zeros((extra,) + array.shape[1:], dtype=array.dtype)
+        return np.concatenate([array, padding])
+
+    return EMRDataset(
+        values=pad(dataset.values),
+        mask=pad(dataset.mask),
+        ever_observed=pad(dataset.ever_observed),
+        deltas=pad(dataset.deltas),
+        mortality=pad(np.asarray(dataset.mortality)),
+        long_stay=pad(np.asarray(dataset.long_stay)),
+    )
+
+
+class Predictor:
+    """Serving-side wrapper over a trained registry model.
+
+    Parameters
+    ----------
+    model:
+        A module implementing the :class:`repro.nn.InferenceMixin`
+        protocol (``predict_logits`` / ``predict_proba``).
+    batch_size:
+        Chunk size for bulk prediction over whole datasets.  Use the
+        training batch size (``Predictor.load`` does) to reproduce
+        ``Trainer.predict_proba`` bit-for-bit.
+    spec:
+        Optional :class:`~repro.baselines.ModelSpec`; enables feature-
+        count validation and round-trip introspection.  Defaults to the
+        spec the registry attached to the model, if any.
+    metrics:
+        Optional :class:`~repro.serve.ServeMetrics` sink; every forward
+        batch is recorded into it.
+    """
+
+    def __init__(self, model, batch_size=64, spec=None, metrics=None):
+        for method in ("predict_logits", "predict_proba"):
+            if not callable(getattr(model, method, None)):
+                raise TypeError(
+                    f"model {type(model).__name__} does not implement the "
+                    f"inference protocol ({method}); registry models gain "
+                    "it from repro.nn.InferenceMixin")
+        self.model = model
+        self.batch_size = int(batch_size)
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.spec = spec if spec is not None else getattr(model, "spec", None)
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # Input validation
+    # ------------------------------------------------------------------
+    def validate(self, batch):
+        """Check a batch has model-ready shapes; raises ``ValueError``.
+
+        Requires the four model-facing arrays with consistent (N, T, C)
+        shapes, no NaNs in the imputed values, and — when the predictor
+        knows its spec — the trained feature count.
+        """
+        for name in ("values", "mask", "ever_observed", "deltas"):
+            if not hasattr(batch, name):
+                raise ValueError(f"batch lacks required array {name!r}; "
+                                 "expected an EMRDataset-like object")
+        values = np.asarray(batch.values)
+        if values.ndim != 3:
+            raise ValueError(f"batch.values must be (N, T, C), "
+                             f"got shape {values.shape}")
+        n, steps, channels = values.shape
+        if self.spec is not None and channels != self.spec.num_features:
+            raise ValueError(
+                f"batch has {channels} features but the model was trained "
+                f"on {self.spec.num_features} (spec {self.spec.name!r})")
+        for name in ("mask", "deltas"):
+            shape = np.asarray(getattr(batch, name)).shape
+            if shape != (n, steps, channels):
+                raise ValueError(f"batch.{name} shape {shape} does not "
+                                 f"match values {(n, steps, channels)}")
+        ever = np.asarray(batch.ever_observed)
+        if ever.shape != (n, channels):
+            raise ValueError(f"batch.ever_observed shape {ever.shape} "
+                             f"must be {(n, channels)}")
+        if np.isnan(values).any():
+            raise ValueError("batch.values contains NaNs; run the "
+                             "preprocessing pipeline (repro.serve."
+                             "PreprocessCache) before predicting")
+        return batch
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_logits(self, batch, pad_to=None):
+        """Raw logits for a validated batch.
+
+        With ``pad_to`` the forward runs at exactly that many rows
+        (zero-padded, outputs sliced back) so the result is independent
+        of batch composition — the micro-batcher's determinism
+        guarantee.
+        """
+        self.validate(batch)
+        n = len(batch)
+        if pad_to is not None:
+            if n > pad_to:
+                raise ValueError(f"batch of {n} rows exceeds pad_to={pad_to}")
+            started = perf_counter()
+            logits = self.model.predict_logits(_pad_rows(batch, pad_to))[:n]
+        else:
+            started = perf_counter()
+            logits = self.model.predict_logits(batch)
+        if self.metrics is not None:
+            self.metrics.record_batch(n, perf_counter() - started)
+        return logits
+
+    def predict_proba(self, batch, pad_to=None):
+        """Predicted probabilities, chunked at the bulk batch size.
+
+        Binary models return (N,); multi-class models return (N, K).
+        Without ``pad_to``, chunking matches the training engine's
+        evaluation pass bit-for-bit.
+        """
+        from ..metrics.probability import sigmoid_probs, softmax_probs
+        outputs = []
+        for start in range(0, len(batch), self.batch_size):
+            chunk = batch.subset(
+                np.arange(start, min(start + self.batch_size, len(batch))))
+            logits = self.predict_logits(chunk, pad_to=pad_to)
+            outputs.append(sigmoid_probs(logits) if logits.ndim == 1
+                           else softmax_probs(logits))
+        return np.concatenate(outputs)
+
+    def predict(self, batch, threshold=0.5):
+        """Hard class predictions (thresholded binary or argmax)."""
+        probabilities = self.predict_proba(batch)
+        if probabilities.ndim == 1:
+            return (probabilities >= threshold).astype(int)
+        return probabilities.argmax(axis=-1)
+
+    # ------------------------------------------------------------------
+    # Loading from run directories
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, run_dir, checkpoint="best", metrics=None):
+        """Rebuild a predictor from a training run directory.
+
+        Parameters
+        ----------
+        run_dir:
+            Directory written by a ``run_dir``-enabled training run:
+            ``config.json`` with a ``model_spec`` entry plus
+            ``checkpoints/{best,last}/weights.npz``.
+        checkpoint:
+            ``"best"`` (best-on-validation; falls back to ``"last"``
+            when no best snapshot exists) or ``"last"``.
+        """
+        from ..baselines import ModelSpec
+        from ..nn.serialization import load_weights
+
+        run_dir = Path(run_dir)
+        config_path = run_dir / "config.json"
+        if not config_path.exists():
+            raise FileNotFoundError(
+                f"no config.json under {run_dir}; train with run_dir=... "
+                "(CLI: --run-dir) to produce a servable run directory")
+        config = json.loads(config_path.read_text())
+        spec_payload = config.get("model_spec")
+        if not spec_payload:
+            raise ValueError(
+                f"{config_path} has no model_spec entry; re-train with a "
+                "registry-built model (build_model attaches the spec)")
+        spec = ModelSpec.from_dict(spec_payload)
+        model = spec.build()
+
+        if checkpoint not in ("best", "last"):
+            raise ValueError("checkpoint must be 'best' or 'last'")
+        weights = run_dir / "checkpoints" / checkpoint / "weights.npz"
+        if checkpoint == "best" and not weights.exists():
+            weights = run_dir / "checkpoints" / "last" / "weights.npz"
+        if not weights.exists():
+            raise FileNotFoundError(f"no checkpoint weights under "
+                                    f"{run_dir / 'checkpoints'}")
+        load_weights(model, weights)
+        return cls(model, batch_size=int(config.get("batch_size", 64)),
+                   spec=spec, metrics=metrics)
+
+
+def load_predictor(run_dir, checkpoint="best", metrics=None):
+    """Module-level alias for :meth:`Predictor.load`."""
+    return Predictor.load(run_dir, checkpoint=checkpoint, metrics=metrics)

@@ -215,19 +215,32 @@ class Engine:
         pass runs under :class:`~repro.nn.tensor.no_grad` (pinned by
         ``tests/train/test_eval_no_grad.py``) and the model's train/eval
         mode is restored on exit.
+
+        Models carrying the shared inference protocol
+        (:class:`repro.nn.InferenceMixin` — every registry model) are
+        delegated to per batch, so training-time validation and the
+        serving layer (:mod:`repro.serve`) run the *same* code path and
+        agree bit-for-bit; duck-typed models exposing only
+        ``forward_batch`` fall back to the inline sigmoid/softmax.
         """
-        was_training = self.model.training
-        self.model.eval()
+        delegate = getattr(self.model, "predict_proba", None)
         outputs = []
-        with nn.no_grad():
+        if delegate is not None:
             for batch, _ in iterate_batches(dataset, self.task,
                                             self.batch_size):
-                logits = self.model.forward_batch(batch).data
-                if self.num_classes > 1:
-                    outputs.append(softmax_probs(logits))
-                else:
-                    outputs.append(sigmoid_probs(logits))
-        self.model.train(was_training)
+                outputs.append(delegate(batch))
+        else:
+            was_training = self.model.training
+            self.model.eval()
+            with nn.no_grad():
+                for batch, _ in iterate_batches(dataset, self.task,
+                                                self.batch_size):
+                    logits = self.model.forward_batch(batch).data
+                    if self.num_classes > 1:
+                        outputs.append(softmax_probs(logits))
+                    else:
+                        outputs.append(sigmoid_probs(logits))
+            self.model.train(was_training)
         return np.concatenate(outputs)
 
     def evaluate(self, dataset):

@@ -117,6 +117,9 @@ class Trainer:
             run_dir=run_dir,
             config={
                 "model_class": type(model).__name__,
+                "model_spec": (model.spec.to_dict()
+                               if getattr(model, "spec", None) is not None
+                               else None),
                 "num_parameters": model.num_parameters(),
                 "task": task, "num_classes": num_classes, "lr": lr,
                 "batch_size": batch_size, "max_epochs": max_epochs,
@@ -142,7 +145,22 @@ class Trainer:
         return self.engine.fit(train, validation)
 
     def predict_proba(self, dataset):
-        """Predicted probabilities per admission (engine pass-through)."""
+        """Predicted probabilities per admission (engine pass-through).
+
+        .. deprecated::
+            Inference through the trainer drags the whole training stack
+            along.  Prefer ``model.predict_proba(batch)`` (the shared
+            :class:`repro.nn.InferenceMixin` protocol) or
+            :class:`repro.serve.Predictor` for checkpoint-backed,
+            micro-batched serving; both return bit-identical
+            probabilities.
+        """
+        import warnings
+        warnings.warn(
+            "Trainer.predict_proba is deprecated; use "
+            "model.predict_proba(batch) or repro.serve.Predictor for "
+            "inference (bit-identical outputs)",
+            DeprecationWarning, stacklevel=2)
         return self.engine.predict_proba(dataset)
 
     def evaluate(self, dataset):

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.baselines import ALL_MODEL_NAMES, BASELINE_NAMES, build_model
+from repro.baselines import (ALL_MODEL_NAMES, BASELINE_NAMES, MODEL_ALIASES,
+                             UnknownModelError, build_model, canonical_name)
 from repro.data import NUM_FEATURES
 
 SMALL_KWARGS = {
@@ -48,9 +49,56 @@ class TestRegistry:
         from repro.baselines import GRUD
         assert isinstance(model, GRUD)
 
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_every_name_builds_in_any_case(self, name):
+        for spelling in (name.lower(), name.upper()):
+            model = build_model(spelling, NUM_FEATURES,
+                                np.random.default_rng(0),
+                                **SMALL_KWARGS[name])
+            assert model.spec.name == spelling
+
     def test_unknown_model_raises(self):
         with pytest.raises(ValueError, match="unknown model"):
             build_model("AlphaFold", NUM_FEATURES, np.random.default_rng(0))
+
+    def test_unknown_model_is_a_helpful_keyerror(self):
+        """Failed lookups raise KeyError listing the valid names."""
+        with pytest.raises(KeyError) as excinfo:
+            build_model("AlphaFold", NUM_FEATURES, np.random.default_rng(0))
+        assert isinstance(excinfo.value, UnknownModelError)
+        message = str(excinfo.value)
+        assert "'AlphaFold'" in message
+        for name in ("GRU", "ELDA-Net", "ConCare"):
+            assert name in message
+
+    def test_unknown_elda_variant_raises_the_same_error(self):
+        with pytest.raises(UnknownModelError, match="unknown model"):
+            build_model("ELDA-Net-Quantum", NUM_FEATURES,
+                        np.random.default_rng(0))
+
+
+class TestAliases:
+    def test_alias_table_targets_are_canonical(self):
+        for alias, target in MODEL_ALIASES.items():
+            assert alias != target
+            assert canonical_name(target) == target
+
+    @pytest.mark.parametrize("alias", sorted(MODEL_ALIASES))
+    def test_every_alias_builds_the_canonical_model(self, alias):
+        canonical = MODEL_ALIASES[alias]
+        a = build_model(alias, NUM_FEATURES, np.random.default_rng(2))
+        b = build_model(canonical, NUM_FEATURES, np.random.default_rng(2))
+        assert type(a) is type(b)
+
+    def test_grud_spellings_collapse_to_one_builder(self):
+        """The historical duplicate 'grud' entry is now an alias."""
+        assert canonical_name("grud") == "gru-d"
+        assert canonical_name("GRU_D") == "gru-d"
+        assert canonical_name("GRU-D") == "gru-d"
+
+    def test_canonical_name_rejects_unknowns(self):
+        with pytest.raises(UnknownModelError):
+            canonical_name("transformer-xl")
 
     def test_deterministic_given_seed(self, tiny_dataset):
         batch = tiny_dataset.subset(np.arange(2))

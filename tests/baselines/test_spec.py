@@ -1,0 +1,64 @@
+"""ModelSpec: the serializable round-trippable model identity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import ModelSpec, build_model
+from repro.data import NUM_FEATURES
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = ModelSpec("GRU-D", NUM_FEATURES, {"hidden_size": 6})
+        assert ModelSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = ModelSpec("ELDA-Net", NUM_FEATURES,
+                         {"embedding_size": 4, "hidden_size": 6,
+                          "compression": 2})
+        assert ModelSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) \
+            == spec
+
+    def test_hyperparameters_default_empty(self):
+        payload = {"name": "LR", "num_features": NUM_FEATURES}
+        assert ModelSpec.from_dict(payload).hyperparameters == {}
+
+
+class TestBuild:
+    def test_build_equals_build_model(self, tiny_dataset):
+        batch = tiny_dataset.subset(np.arange(3))
+        spec = ModelSpec("GRU", NUM_FEATURES, {"hidden_size": 6})
+        by_spec = spec.build(rng=np.random.default_rng(3))
+        by_name = build_model("GRU", NUM_FEATURES, np.random.default_rng(3),
+                              hidden_size=6)
+        np.testing.assert_array_equal(by_spec.forward_batch(batch).data,
+                                      by_name.forward_batch(batch).data)
+
+    def test_build_model_attaches_the_spec(self):
+        model = build_model("RETAIN", NUM_FEATURES, np.random.default_rng(0),
+                            embedding_size=6, alpha_hidden=4, beta_hidden=4)
+        assert model.spec == ModelSpec(
+            "RETAIN", NUM_FEATURES,
+            {"embedding_size": 6, "alpha_hidden": 4, "beta_hidden": 4})
+
+    def test_build_model_accepts_a_spec_directly(self, tiny_dataset):
+        spec = ModelSpec("LR", NUM_FEATURES)
+        model = build_model(spec, rng=np.random.default_rng(0))
+        assert model.spec is spec
+        assert model.forward_batch(
+            tiny_dataset.subset(np.arange(2))).data.shape == (2,)
+
+    def test_spec_plus_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="inside the ModelSpec"):
+            build_model(ModelSpec("GRU", NUM_FEATURES), hidden_size=4)
+
+    def test_name_without_num_features_rejected(self):
+        with pytest.raises(TypeError, match="num_features"):
+            build_model("GRU")
+
+    def test_spec_is_frozen(self):
+        spec = ModelSpec("GRU", NUM_FEATURES)
+        with pytest.raises(AttributeError):
+            spec.name = "LR"

@@ -1,0 +1,37 @@
+"""Shared fixtures for the serving-runtime test suite.
+
+One small GRU is trained once per session into a real run directory
+(config.json with a model spec, Checkpointer weights, persisted
+standardizer) so every test exercises the same artifacts the CLI
+produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.data import (NUM_FEATURES, SyntheticEMRGenerator,
+                        train_val_test_split)
+from repro.train import Trainer
+
+
+@pytest.fixture(scope="session")
+def serve_splits():
+    admissions = SyntheticEMRGenerator().sample_many(
+        60, np.random.default_rng(5))
+    return train_val_test_split(admissions, np.random.default_rng(6))
+
+
+@pytest.fixture(scope="session")
+def trained_run(serve_splits, tmp_path_factory):
+    """(trainer, run_dir): a short CLI-shaped training run."""
+    run_dir = tmp_path_factory.mktemp("serve") / "gru-run"
+    model = build_model("GRU", NUM_FEATURES, np.random.default_rng(0),
+                        hidden_size=8)
+    trainer = Trainer(model, "mortality", max_epochs=3, patience=10,
+                      batch_size=16, seed=0, run_dir=str(run_dir))
+    trainer.fit(serve_splits.train, serve_splits.validation)
+    serve_splits.standardizer.save(run_dir / "standardizer.npz")
+    return trainer, run_dir

@@ -1,0 +1,109 @@
+"""ServeMetrics: accounting, derived statistics, and the report schema."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import ServeMetrics
+
+pytestmark = pytest.mark.serve
+
+
+class TestAccounting:
+    def test_counts_and_histogram(self):
+        metrics = ServeMetrics("unit")
+        for size in (4, 4, 8, 1):
+            metrics.record_batch(size, 0.01)
+        for latency in (0.001, 0.002, 0.003):
+            metrics.record_request(latency)
+        assert metrics.batch_count == 4
+        assert metrics.request_count == 3
+        assert metrics.batch_size_histogram() == {1: 1, 4: 2, 8: 1}
+        assert metrics.mean_batch_size() == pytest.approx(17 / 4)
+
+    def test_latency_quantiles(self):
+        metrics = ServeMetrics()
+        for ms in range(1, 101):
+            metrics.record_request(ms / 1000.0)
+        assert metrics.p50_latency == pytest.approx(0.0505, abs=1e-3)
+        assert metrics.p95_latency == pytest.approx(0.09505, abs=1e-3)
+        assert metrics.latency_quantile(100) == pytest.approx(0.1)
+
+    def test_cache_hit_rate(self):
+        metrics = ServeMetrics()
+        assert metrics.cache_hit_rate == 0.0
+        metrics.record_cache(hit=True)
+        metrics.record_cache(hit=True)
+        metrics.record_cache(hit=False)
+        assert metrics.cache_hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_metrics_are_all_zero(self):
+        metrics = ServeMetrics()
+        assert metrics.request_count == 0
+        assert metrics.batch_count == 0
+        assert metrics.mean_batch_size() == 0.0
+        assert metrics.p50_latency == 0.0
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        metrics = ServeMetrics()
+        per_thread = 200
+
+        def worker():
+            for _ in range(per_thread):
+                metrics.record_request(0.001)
+                metrics.record_batch(2, 0.001)
+                metrics.record_cache(hit=True)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.request_count == 8 * per_thread
+        assert metrics.batch_count == 8 * per_thread
+        assert metrics.cache_hit_rate == 1.0
+
+
+class TestReporting:
+    def _populated(self):
+        metrics = ServeMetrics("demo run")
+        metrics.record_batch(4, 0.02)
+        metrics.record_batch(4, 0.02)
+        metrics.record_request(0.005)
+        metrics.record_request(0.015)
+        metrics.record_cache(hit=True)
+        metrics.record_cache(hit=False)
+        return metrics
+
+    def test_as_dict_schema(self):
+        payload = self._populated().as_dict(extra={"clients": 2})
+        assert payload["schema"] == "repro.serve/v1"
+        assert payload["requests"] == 2
+        assert payload["batches"] == 2
+        assert payload["batch_size_histogram"] == {"4": 2}
+        assert payload["mean_batch_size"] == 4.0
+        assert payload["latency_seconds"]["max"] == pytest.approx(0.015)
+        assert payload["cache"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+        assert payload["extra"] == {"clients": 2}
+
+    def test_table_mentions_the_headline_numbers(self):
+        table = self._populated().table()
+        assert "requests        : 2" in table
+        assert "cache hit rate  : 50.0%" in table
+        assert "4x2" in table
+
+    def test_save_writes_versioned_json(self, tmp_path):
+        path = self._populated().save(tmp_path, extra={"note": "x"},
+                                      stamp="20260806-120000")
+        assert path.name == "SERVE_demo-run_20260806-120000.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.serve/v1"
+        assert payload["created"] == "20260806-120000"
+        assert payload["extra"] == {"note": "x"}
+
+    def test_save_defaults_label(self, tmp_path):
+        path = ServeMetrics().save(tmp_path, stamp="s")
+        assert path.name == "SERVE_run_s.json"

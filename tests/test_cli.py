@@ -104,6 +104,75 @@ class TestInterpretParser:
         assert args.command == "interpret"
 
 
+class TestServingCommands:
+    @pytest.fixture(scope="class")
+    def trained_run_dir(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("cli-serve") / "run"
+        code = main(["train", "--model", "GRU", "--epochs", "1",
+                     "--run-dir", str(run_dir)], out=io.StringIO())
+        assert code == 0
+        return run_dir
+
+    def test_parses_predict_and_serve_options(self):
+        args = build_parser().parse_args(
+            ["predict", "--run-dir", "runs/x", "--checkpoint", "last",
+             "--limit", "3"])
+        assert (args.run_dir, args.checkpoint, args.limit) \
+            == ("runs/x", "last", 3)
+        args = build_parser().parse_args(
+            ["serve", "--run-dir", "runs/x", "--requests", "32",
+             "--clients", "4", "--max-batch-size", "8"])
+        assert (args.requests, args.clients, args.max_batch_size) \
+            == (32, 4, 8)
+
+    def test_predict_and_serve_require_run_dir(self):
+        for command in ("predict", "serve"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command])
+
+    def test_train_persists_the_standardizer(self, trained_run_dir):
+        assert (trained_run_dir / "standardizer.npz").exists()
+        assert (trained_run_dir / "config.json").exists()
+
+    def test_predict_prints_probabilities(self, trained_run_dir):
+        out = io.StringIO()
+        code = main(["predict", "--run-dir", str(trained_run_dir),
+                     "--limit", "4"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "GRU" in text
+        assert text.count("p=") == 4
+
+    def test_serve_reports_metrics(self, trained_run_dir, tmp_path):
+        out = io.StringIO()
+        code = main(["serve", "--run-dir", str(trained_run_dir),
+                     "--requests", "48", "--clients", "4", "--pool", "8",
+                     "--max-batch-size", "8", "--no-json"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "requests        : 48" in text
+        assert "cache hit rate" in text
+        assert "throughput" in text
+
+    def test_serve_writes_a_report(self, trained_run_dir, tmp_path):
+        code = main(["serve", "--run-dir", str(trained_run_dir),
+                     "--requests", "16", "--clients", "2", "--pool", "4",
+                     "--out", str(tmp_path)], out=io.StringIO())
+        assert code == 0
+        reports = list(tmp_path.glob("SERVE_*.json"))
+        assert len(reports) == 1
+
+    def test_serve_without_standardizer_exits(self, trained_run_dir,
+                                              tmp_path):
+        import shutil
+        broken = tmp_path / "broken"
+        shutil.copytree(trained_run_dir, broken)
+        (broken / "standardizer.npz").unlink()
+        with pytest.raises(SystemExit, match="standardizer"):
+            main(["serve", "--run-dir", str(broken), "--requests", "4"],
+                 out=io.StringIO())
+
+
 class TestRunDirAndResume:
     def test_parses_run_dir_and_resume(self):
         args = build_parser().parse_args(
