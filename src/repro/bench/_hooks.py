@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from time import perf_counter
 
-__all__ = ["active", "push", "pop", "call_op", "call_backward"]
+__all__ = ["active", "push", "pop", "call_op", "call_backward",
+           "grad_alloc", "grad_free"]
 
 #: Stack of active :class:`repro.bench.Profiler` objects, innermost last.
 #: Every event is recorded once in *each* active profiler, so nested
@@ -37,6 +38,13 @@ _PROFILERS = []
 #: Stack of op-call frames; ``frame[0]`` accumulates child inclusive time.
 _FRAMES = []
 
+#: Currently live gradient-buffer bytes.  ``Tensor._accumulate`` reports
+#: every None→array transition here, and the backward loop / ``zero_grad``
+#: report the matching frees, so each profiler can track the *peak* of
+#: this counter — the high-water mark of gradient memory, which is what
+#: the buffer-reuse work in the tensor core actually optimizes.
+_GRAD_LIVE_BYTES = 0
+
 
 def active():
     """Whether any profiler is currently recording."""
@@ -45,6 +53,11 @@ def active():
 
 def push(profiler):
     """Activate ``profiler`` (innermost position)."""
+    global _GRAD_LIVE_BYTES
+    if not _PROFILERS:
+        # Fresh accounting region: grads allocated while nobody was
+        # profiling were never counted, so start the meter at zero.
+        _GRAD_LIVE_BYTES = 0
     _PROFILERS.append(profiler)
 
 
@@ -54,6 +67,21 @@ def pop(profiler):
         raise RuntimeError("profile() contexts must be exited "
                            "innermost-first")
     _PROFILERS.pop()
+
+
+def grad_alloc(nbytes):
+    """Record ``nbytes`` of newly live gradient buffer."""
+    global _GRAD_LIVE_BYTES
+    _GRAD_LIVE_BYTES += int(nbytes)
+    for profiler in _PROFILERS:
+        if _GRAD_LIVE_BYTES > profiler.peak_grad_bytes:
+            profiler.peak_grad_bytes = _GRAD_LIVE_BYTES
+
+
+def grad_free(nbytes):
+    """Record the release of ``nbytes`` of gradient buffer."""
+    global _GRAD_LIVE_BYTES
+    _GRAD_LIVE_BYTES = max(0, _GRAD_LIVE_BYTES - int(nbytes))
 
 
 def _result_nbytes(result):

@@ -94,6 +94,10 @@ class Profiler:
         #: autodiff graph (``requires_grad=True``).  Zero under
         #: ``no_grad`` — the eval-path test relies on this.
         self.grad_graph_outputs = 0
+        #: High-water mark of simultaneously live gradient-buffer bytes
+        #: (see ``repro.bench._hooks``).  Measures the effect of
+        #: ``backward(free_graph=True)`` and in-place accumulation.
+        self.peak_grad_bytes = 0
         self._entered_at = None
 
     # -- context management -------------------------------------------
@@ -140,6 +144,7 @@ class Profiler:
         self.stats.clear()
         self.wall_seconds = 0.0
         self.grad_graph_outputs = 0
+        self.peak_grad_bytes = 0
 
     def op(self, name):
         """The :class:`OpStat` for ``name`` (zeros if never recorded)."""
@@ -169,6 +174,7 @@ class Profiler:
             "label": self.label,
             "wall_seconds": self.wall_seconds,
             "grad_graph_outputs": self.grad_graph_outputs,
+            "peak_grad_bytes": self.peak_grad_bytes,
             "ops": {name: stat.as_dict()
                     for name, stat in self.stats.items()},
         }

@@ -69,7 +69,8 @@ def render_table(profiler, sort_by="total", limit=None):
                                cell.rjust(widths[i])
                                for i, cell in enumerate(row)))
     lines.append(f"(sorted by {sort_by}; wall {profiler.wall_seconds:.4f}s, "
-                 f"op self-time {profiler.total_self_seconds():.4f}s)")
+                 f"op self-time {profiler.total_self_seconds():.4f}s, "
+                 f"peak grad {profiler.peak_grad_bytes / 1e6:.2f} MB)")
     return "\n".join(lines)
 
 

@@ -49,13 +49,17 @@ def benchmark_cohort(num_admissions=64, seed=0):
 
 def benchmark_training(model_name="GRU", task="mortality", epochs=2,
                        num_admissions=64, batch_size=32, seed=0,
-                       fused=True, with_profiler=True, run_dir=None):
+                       fused=True, with_profiler=True, run_dir=None,
+                       dtype=None):
     """Train ``model_name`` for ``epochs`` epochs and measure throughput.
 
     Early stopping is disabled (patience > epochs) so every run performs
     the same number of optimizer steps.  The epoch loop itself is the
     training engine's; ``run_dir`` optionally leaves the durable
     config/metrics/checkpoint artifacts alongside the benchmark numbers.
+    ``dtype`` scopes the precision policy (``"float32"``/``"float64"``)
+    around model construction *and* training via
+    :class:`repro.nn.dtype.autocast`; default is the ambient policy.
 
     Returns a dict with:
 
@@ -69,20 +73,28 @@ def benchmark_training(model_name="GRU", task="mortality", epochs=2,
     ``history`` / ``model`` / ``config``
         The training history, trained model, and the run configuration
         (the latter is what ``repro bench`` persists under ``extra``).
+        With the profiler on, ``config`` additionally carries the
+        per-step byte accounting (``allocated_bytes_per_step``,
+        ``peak_grad_bytes``) used by the precision-policy comparison.
     """
-    splits = benchmark_cohort(num_admissions=num_admissions, seed=seed)
-    model = build_model(model_name, NUM_FEATURES,
-                        np.random.default_rng(seed))
-    flipped = set_fused(model, fused)
-    trainer = Trainer(model, task, batch_size=batch_size, max_epochs=epochs,
-                      patience=epochs + 1, seed=seed, run_dir=run_dir)
+    from ..nn.dtype import autocast, get_default_dtype, resolve_dtype
 
-    profiler = None
-    if with_profiler:
-        with profile(f"train-{model_name}") as profiler:
+    resolved = resolve_dtype(dtype) if dtype is not None else get_default_dtype()
+    with autocast(resolved):
+        splits = benchmark_cohort(num_admissions=num_admissions, seed=seed)
+        model = build_model(model_name, NUM_FEATURES,
+                            np.random.default_rng(seed))
+        flipped = set_fused(model, fused)
+        trainer = Trainer(model, task, batch_size=batch_size,
+                          max_epochs=epochs, patience=epochs + 1, seed=seed,
+                          run_dir=run_dir)
+
+        profiler = None
+        if with_profiler:
+            with profile(f"train-{model_name}") as profiler:
+                history = trainer.fit(splits.train, splits.validation)
+        else:
             history = trainer.fit(splits.train, splits.validation)
-    else:
-        history = trainer.fit(splits.train, splits.validation)
 
     seconds_per_batch = history.seconds_per_batch
     config = {
@@ -93,9 +105,20 @@ def benchmark_training(model_name="GRU", task="mortality", epochs=2,
         "batch_size": batch_size,
         "seed": seed,
         "fused": bool(fused),
+        "dtype": np.dtype(resolved).name,
         "gru_cells": flipped,
         "num_parameters": model.num_parameters(),
     }
+    if profiler is not None:
+        # Per-step byte accounting: total op-output allocations (forward)
+        # plus backward gradient traffic, normalized by optimizer steps.
+        batches_per_epoch = -(-len(splits.train) // batch_size)
+        num_steps = max(1, history.num_epochs * batches_per_epoch)
+        total_bytes = sum(s.forward_bytes + s.backward_bytes
+                          for s in profiler.stats.values())
+        config["profiled_steps"] = int(num_steps)
+        config["allocated_bytes_per_step"] = int(total_bytes // num_steps)
+        config["peak_grad_bytes"] = int(profiler.peak_grad_bytes)
     return {
         "steps_per_sec": (1.0 / seconds_per_batch
                           if seconds_per_batch > 0 else float("inf")),

@@ -107,6 +107,10 @@ def build_parser():
     bench.add_argument("--unfused", action="store_true",
                        help="run the unfused reference GRU kernels "
                        "(baseline for before/after comparisons)")
+    bench.add_argument("--dtype", default=None,
+                       choices=("float32", "float64"),
+                       help="precision policy for the run (default: the "
+                       "ambient policy / REPRO_DTYPE, normally float32)")
     bench.add_argument("--sort", default="total",
                        choices=("total", "forward", "backward", "self",
                                 "calls", "bytes"))
@@ -267,16 +271,18 @@ def _cmd_bench(args, out):
     result = benchmark_training(
         model_name=args.model, task=args.task, epochs=args.epochs,
         num_admissions=args.admissions, batch_size=args.batch_size,
-        seed=args.seed, fused=not args.unfused)
+        seed=args.seed, fused=not args.unfused, dtype=args.dtype)
     profiler = result["profiler"]
     config = result["config"]
     kernel = "unfused reference" if args.unfused else "fused"
     out.write(f"{args.model} on synthetic/{args.task}: "
               f"{config['epochs']} epochs, batch {config['batch_size']}, "
-              f"{kernel} kernels\n")
+              f"{kernel} kernels, {config['dtype']}\n")
     out.write(f"  params        : {config['num_parameters']}\n")
     out.write(f"  sec/batch     : {result['seconds_per_batch']:.4f}\n")
-    out.write(f"  steps/sec     : {result['steps_per_sec']:.2f}\n\n")
+    out.write(f"  steps/sec     : {result['steps_per_sec']:.2f}\n")
+    out.write(f"  bytes/step    : {config['allocated_bytes_per_step']}\n")
+    out.write(f"  peak grad     : {config['peak_grad_bytes']} bytes\n\n")
     out.write(profiler.table(sort_by=args.sort, limit=args.top) + "\n")
     if not args.no_json:
         extra = dict(config)

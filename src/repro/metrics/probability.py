@@ -18,12 +18,22 @@ __all__ = ["softmax_probs", "sigmoid_probs", "multiclass_ce",
 _CE_EPS = 1e-12
 
 
+def _as_float(logits):
+    """Keep floating inputs in their own precision (the policy plane);
+    promote non-float inputs through the ambient policy dtype."""
+    logits = np.asarray(logits)
+    if logits.dtype.kind != "f":
+        from ..nn.dtype import get_default_dtype
+        return logits.astype(get_default_dtype())
+    return logits
+
+
 def softmax_probs(logits):
     """Row-stochastic softmax of a logits array along the last axis.
 
     Shift-by-max keeps the exponentials finite for any input scale.
     """
-    logits = np.asarray(logits, dtype=float)
+    logits = _as_float(logits)
     shifted = logits - logits.max(axis=-1, keepdims=True)
     exped = np.exp(shifted)
     return exped / exped.sum(axis=-1, keepdims=True)
@@ -31,7 +41,7 @@ def softmax_probs(logits):
 
 def sigmoid_probs(logits):
     """Element-wise logistic sigmoid of a logits array."""
-    logits = np.asarray(logits, dtype=float)
+    logits = _as_float(logits)
     return 1.0 / (1.0 + np.exp(-logits))
 
 

@@ -12,8 +12,9 @@ primitive in :mod:`repro.nn.ops` is registered with sample inputs that an
 exhaustive test sweep gradchecks mechanically (see docs/CORRECTNESS.md).
 """
 
-from . import debug, gradcheck, init, losses, ops, schedules
+from . import debug, dtype, gradcheck, init, losses, ops, schedules
 from .debug import AnomalyError, audit_backward, detect_anomaly
+from .dtype import autocast, get_default_dtype, set_default_dtype
 from .gradcheck import GradcheckFailure, check_module
 from .inference import InferenceMixin
 from .module import Module, ModuleList, Parameter
@@ -23,10 +24,11 @@ from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "get_default_dtype", "set_default_dtype", "autocast",
     "Module", "ModuleList", "Parameter", "InferenceMixin",
     "Optimizer", "SGD", "Adam", "RMSProp", "clip_grad_norm",
     "save_weights", "load_weights", "save_state", "load_state",
     "detect_anomaly", "AnomalyError", "audit_backward",
     "check_module", "GradcheckFailure",
-    "ops", "init", "losses", "schedules", "gradcheck", "debug",
+    "ops", "init", "losses", "schedules", "gradcheck", "debug", "dtype",
 ]

@@ -57,22 +57,33 @@ class detect_anomaly:
     check_backward:
         Raise when a backward closure produces a NaN/Inf gradient
         (default on).
+    dtype:
+        Optional precision override scoped to the block (e.g.
+        ``np.float64`` to re-run a float32 overflow in double precision
+        and see whether it is a range problem or a genuine divergence).
+        Implemented with :class:`repro.nn.dtype.autocast`.
 
     Nesting is allowed; the previous state is restored on exit.  The
     checks cost one ``np.isfinite`` scan per op, so leave this off in
     production runs and switch it on to localize a numerical failure.
     """
 
-    def __init__(self, check_forward=True, check_backward=True):
+    def __init__(self, check_forward=True, check_backward=True, dtype=None):
         self.check_forward = check_forward
         self.check_backward = check_backward
+        from .dtype import autocast
+        self._autocast = None if dtype is None else autocast(dtype)
 
     def __enter__(self):
         self._previous = _tensor_mod._ANOMALY_STATE
         _tensor_mod._ANOMALY_STATE = self
+        if self._autocast is not None:
+            self._autocast.__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb):
+        if self._autocast is not None:
+            self._autocast.__exit__(exc_type, exc, tb)
         _tensor_mod._ANOMALY_STATE = self._previous
         return False
 
@@ -220,13 +231,13 @@ def audit_backward(root, grad=None):
 
     original_accumulate = Tensor._accumulate
 
-    def checked_accumulate(self, g):
+    def checked_accumulate(self, g, owned=False):
         if not self.requires_grad:
             raise GraphAuditError(
                 f"gradient accumulated into a tensor with "
                 f"requires_grad=False (shape {self.shape}, "
                 f"op '{self.op_name or 'leaf'}')")
-        return original_accumulate(self, g)
+        return original_accumulate(self, g, owned=owned)
 
     Tensor._accumulate = checked_accumulate
     try:

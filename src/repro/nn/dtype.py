@@ -1,0 +1,148 @@
+"""Repo-wide floating-point precision policy.
+
+Every construction site in the stack — :class:`~repro.nn.Tensor`
+coercion, :mod:`repro.nn.init` draws, :class:`~repro.nn.Parameter`
+wrapping, optimizer moment buffers, loss-side label coercion, and
+checkpoint loading — asks this module for the current default dtype
+instead of hard-coding one.  The engine therefore runs end-to-end in a
+single dtype chosen at one place.
+
+The default is **float32**: clinical sequence models are bandwidth
+bound, and halving every array doubles effective memory bandwidth
+while letting BLAS pick ``sgemm`` over ``dgemm`` (see
+``docs/PERFORMANCE.md``).  Correctness tooling that genuinely needs
+float64 — :func:`repro.nn.gradcheck.gradcheck` and the finite-
+difference sweeps — opts back in *locally* with :class:`autocast`
+rather than dragging the whole engine up to double precision.
+
+Three knobs, narrowest first:
+
+* :class:`autocast` — context manager scoping a dtype to a block.
+* :func:`set_default_dtype` — process-wide mutation.
+* ``REPRO_DTYPE`` environment variable — start-up override
+  (``float32``/``float64``), read once at import.
+
+Only real floating dtypes are accepted; integer/bool arrays (masks,
+targets, index arrays) are never coerced by the policy — they keep
+their own dtypes throughout.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "SUPPORTED_DTYPES",
+    "get_default_dtype",
+    "set_default_dtype",
+    "resolve_dtype",
+    "autocast",
+]
+
+#: dtypes the policy accepts; everything else raises at the boundary.
+SUPPORTED_DTYPES = (np.float32, np.float64)
+
+
+def resolve_dtype(dtype):
+    """Normalize a user-supplied dtype spec to a supported numpy dtype.
+
+    Accepts ``np.float32``/``np.float64``, their dtype instances, the
+    strings ``"float32"``/``"float64"``, and python ``float`` (which
+    maps to the *current policy default*, not float64 — ``float`` means
+    "a float of whatever precision we run at").
+    """
+    if dtype is None or dtype is float:
+        return get_default_dtype()
+    resolved = np.dtype(dtype)
+    if resolved.type not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported precision dtype {dtype!r}; the policy supports "
+            + " / ".join(np.dtype(d).name for d in SUPPORTED_DTYPES))
+    return resolved.type
+
+
+def _initial_default():
+    name = os.environ.get("REPRO_DTYPE", "").strip().lower()
+    if not name:
+        return np.float32
+    try:
+        resolved = np.dtype(name)
+    except TypeError:
+        raise ValueError(
+            f"REPRO_DTYPE={name!r} is not a dtype name; "
+            "use 'float32' or 'float64'") from None
+    if resolved.type not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"REPRO_DTYPE={name!r} is unsupported; use 'float32' or 'float64'")
+    return resolved.type
+
+
+#: Start-up default (float32 unless overridden via ``REPRO_DTYPE``).
+DEFAULT_DTYPE = _initial_default()
+
+_default_dtype = DEFAULT_DTYPE
+
+
+def get_default_dtype():
+    """The dtype every float array in the engine is coerced to."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype):
+    """Set the process-wide default dtype; returns the previous one.
+
+    Existing tensors/parameters are left untouched — the policy governs
+    *construction*, not storage.  Use :meth:`repro.nn.Module.to` to
+    migrate an already-built model.
+    """
+    global _default_dtype
+    previous = _default_dtype
+    if dtype is float or dtype is None:
+        raise ValueError("set_default_dtype needs an explicit dtype "
+                         "(np.float32 or np.float64)")
+    resolved = np.dtype(dtype)
+    if resolved.type not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported precision dtype {dtype!r}; the policy supports "
+            + " / ".join(np.dtype(d).name for d in SUPPORTED_DTYPES))
+    _default_dtype = resolved.type
+    return previous
+
+
+class autocast:
+    """Scope the default dtype to a ``with`` block (re-entrant).
+
+    >>> with autocast(np.float64):
+    ...     t = Tensor([1.0, 2.0])      # float64 despite a float32 policy
+    >>> Tensor([1.0, 2.0]).dtype        # back to the ambient policy
+    dtype('float32')
+
+    This is how gradcheck and the anomaly harness run in double
+    precision locally while the engine default stays float32.
+    """
+
+    def __init__(self, dtype):
+        if dtype is float or dtype is None:
+            raise ValueError("autocast needs an explicit dtype "
+                             "(np.float32 or np.float64)")
+        resolved = np.dtype(dtype)
+        if resolved.type not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"unsupported precision dtype {dtype!r}; the policy supports "
+                + " / ".join(np.dtype(d).name for d in SUPPORTED_DTYPES))
+        self.dtype = resolved.type
+        self._previous = None
+
+    def __enter__(self):
+        global _default_dtype
+        self._previous = _default_dtype
+        _default_dtype = self.dtype
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _default_dtype
+        _default_dtype = self._previous
+        return False

@@ -15,6 +15,14 @@ This module is the ground truth for the autodiff engine.  It provides:
 Failures raise :class:`GradcheckFailure`, an ``AssertionError`` subclass,
 so the helpers drop straight into pytest.  Both entry points also return a
 report object for callers that want to inspect per-input errors.
+
+Both helpers run in **float64 regardless of the ambient precision
+policy**: finite differencing at ``eps ≈ 1e-6`` is meaningless in
+float32, so :func:`gradcheck` scopes ``dtype.autocast(np.float64)``
+around graph construction and every evaluation, and
+:func:`check_module` additionally upcasts the module's parameters for
+the duration of the check (float32 → float64 → float32 is lossless, so
+the model comes back bit-identical).
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .dtype import autocast
 from .tensor import Tensor, no_grad
 
 __all__ = ["GradcheckFailure", "GradcheckReport", "numeric_gradient",
@@ -130,16 +139,17 @@ def gradcheck(build_fn, *arrays, eps=1e-6, atol=2e-5, rtol=1e-4,
     if len(check_inputs) != len(arrays):
         raise ValueError("check_inputs must have one entry per input")
 
-    tensors = [Tensor(a, requires_grad=checked)
-               for a, checked in zip(arrays, check_inputs)]
-    out = build_fn(*tensors)
-    if out.size != 1:
-        raise ValueError("build_fn must return a scalar tensor; got shape "
-                         f"{out.shape}")
-    out.backward()
+    with autocast(np.float64):
+        tensors = [Tensor(a, requires_grad=checked)
+                   for a, checked in zip(arrays, check_inputs)]
+        out = build_fn(*tensors)
+        if out.size != 1:
+            raise ValueError("build_fn must return a scalar tensor; got shape "
+                             f"{out.shape}")
+        out.backward()
 
     def evaluate():
-        with no_grad():
+        with autocast(np.float64), no_grad():
             fresh = [Tensor(a) for a in arrays]
             return build_fn(*fresh).item()
 
@@ -198,6 +208,11 @@ def check_module(module, loss_fn, eps=1e-5, atol=1e-4, rtol=1e-3,
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     was_training = getattr(module, "training", True)
+    # Finite differencing needs double precision; upcast the parameters
+    # for the duration of the check and restore their dtypes afterwards
+    # (float32 -> float64 -> float32 round-trips bit-identically).
+    original_dtypes = [(p, p.data.dtype) for _, p in module.named_parameters()]
+    module.to(np.float64)
     if eval_mode:
         module.eval()
     try:
@@ -209,18 +224,19 @@ def check_module(module, loss_fn, eps=1e-5, atol=1e-4, rtol=1e-3,
                 raise ValueError(f"no parameters match prefixes {prefixes!r}")
 
         module.zero_grad()
-        loss = loss_fn(module)
-        if loss.size != 1:
-            raise ValueError("loss_fn must return a scalar tensor; got shape "
-                             f"{loss.shape}")
-        loss.backward()
+        with autocast(np.float64):
+            loss = loss_fn(module)
+            if loss.size != 1:
+                raise ValueError("loss_fn must return a scalar tensor; "
+                                 f"got shape {loss.shape}")
+            loss.backward()
         analytic = {name: (p.grad.copy() if p.grad is not None
                            else np.zeros_like(p.data))
                     for name, p in named}
         module.zero_grad()
 
         def evaluate():
-            with no_grad():
+            with autocast(np.float64), no_grad():
                 return loss_fn(module).item()
 
         report = GradcheckReport()
@@ -254,3 +270,6 @@ def check_module(module, loss_fn, eps=1e-5, atol=1e-4, rtol=1e-3,
         return report
     finally:
         module.train(was_training)
+        for param, dt in original_dtypes:
+            if param.data.dtype != dt:
+                param.data = param.data.astype(dt)

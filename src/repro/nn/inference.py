@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .dtype import get_default_dtype
 from .tensor import no_grad
 
 __all__ = ["InferenceMixin"]
@@ -57,7 +58,10 @@ class InferenceMixin:
                 f"{type(self).__name__}.forward_batch built autodiff graph "
                 "state under no_grad; the inference fast path requires "
                 "graph-free forwards")
-        return np.asarray(getattr(logits, "data", logits), dtype=float)
+        # Policy dtype, not a hard-coded float64: the serve path stays in
+        # the same precision plane as the forward that produced it.
+        return np.asarray(getattr(logits, "data", logits),
+                          dtype=get_default_dtype())
 
     def predict_proba(self, batch):
         """Predicted probabilities for a batch.

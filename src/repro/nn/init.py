@@ -2,14 +2,25 @@
 
 All functions take an explicit ``numpy.random.Generator`` so that every
 model in the benchmark suite is exactly reproducible from a seed.
+
+Draws happen in float64 (the generator's native precision, so the
+random stream is identical under every policy) and the result is cast
+once to the policy default dtype on the way out.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .dtype import get_default_dtype
+
 __all__ = ["glorot_uniform", "glorot_normal", "he_uniform", "orthogonal",
            "uniform", "normal", "zeros", "ones"]
+
+
+def _as_default(array):
+    """Cast a freshly drawn array to the policy dtype (no-op if equal)."""
+    return np.asarray(array, dtype=get_default_dtype())
 
 
 def _fans(shape):
@@ -26,21 +37,21 @@ def glorot_uniform(shape, rng):
     """Glorot/Xavier uniform: U(-limit, limit) with limit = sqrt(6/(fan_in+fan_out))."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return _as_default(rng.uniform(-limit, limit, size=shape))
 
 
 def glorot_normal(shape, rng):
     """Glorot/Xavier normal: N(0, 2/(fan_in+fan_out))."""
     fan_in, fan_out = _fans(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _as_default(rng.normal(0.0, std, size=shape))
 
 
 def he_uniform(shape, rng):
     """He uniform, suited to ReLU layers."""
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return _as_default(rng.uniform(-limit, limit, size=shape))
 
 
 def orthogonal(shape, rng, gain=1.0):
@@ -53,24 +64,24 @@ def orthogonal(shape, rng, gain=1.0):
     q *= np.sign(np.diag(r))
     if rows < cols:
         q = q.T
-    return gain * q[:rows, :cols].reshape(shape)
+    return _as_default(gain * q[:rows, :cols].reshape(shape))
 
 
 def uniform(shape, rng, low=-0.05, high=0.05):
     """Plain uniform initialization."""
-    return rng.uniform(low, high, size=shape)
+    return _as_default(rng.uniform(low, high, size=shape))
 
 
 def normal(shape, rng, std=0.05):
     """Plain zero-mean normal initialization."""
-    return rng.normal(0.0, std, size=shape)
+    return _as_default(rng.normal(0.0, std, size=shape))
 
 
 def zeros(shape, rng=None):
     """All-zeros (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape, rng=None):
     """All-ones (scale parameters)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())

@@ -50,7 +50,10 @@ def bce_with_logits(logits, targets, reduction="mean", pos_weight=None):
     y = targets.data
     stable = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
     if pos_weight is not None:
-        weight = np.where(y > 0.5, pos_weight, 1.0)
+        # Explicit dtype: np.where over two python floats would promote
+        # the weight (and the whole loss) to float64 under NEP 50.
+        dt = z.dtype
+        weight = np.where(y > 0.5, dt.type(pos_weight), dt.type(1.0))
         stable = stable * weight
     else:
         weight = None
@@ -64,7 +67,7 @@ def bce_with_logits(logits, targets, reduction="mean", pos_weight=None):
                 # share the weight; with class weighting only the matching
                 # term is scaled, giving w_pos*y*(sig-1) + w_neg*(1-y)*sig.
                 g = np.where(y > 0.5, pos_weight * (sig - 1.0), sig)
-            logits._accumulate(grad * g)
+            logits._accumulate(grad * g, owned=True)
 
     out = Tensor._make(stable, (logits,), backward)
     return _reduce(out, reduction)

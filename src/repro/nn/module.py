@@ -11,6 +11,7 @@ Mirrors the familiar torch-style API at a small scale:
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 
 import numpy as np
@@ -114,19 +115,54 @@ class Module:
                            for name, param in self.named_parameters())
 
     def load_state_dict(self, state):
-        """Load parameter values from a mapping produced by :meth:`state_dict`."""
+        """Load parameter values from a mapping produced by :meth:`state_dict`.
+
+        Values are cast once into each parameter's own dtype (the policy
+        dtype the model was built under), keeping checkpoint round-trips
+        dtype-stable.  A precision-*losing* cast — e.g. a float64
+        checkpoint loaded into a float32 model — emits a single
+        ``UserWarning`` naming the transition.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
+        narrowed = None
         for name, value in state.items():
-            value = np.asarray(value, dtype=np.float64)
-            if value.shape != own[name].shape:
+            param = own[name]
+            value = np.asarray(value)
+            if value.shape != param.shape:
                 raise ValueError(f"shape mismatch for {name}: "
-                                 f"{value.shape} vs {own[name].shape}")
-            own[name].data[...] = value
+                                 f"{value.shape} vs {param.shape}")
+            if (narrowed is None and value.dtype.kind == "f"
+                    and value.dtype.itemsize > param.dtype.itemsize):
+                narrowed = (value.dtype, param.dtype)
+            param.data[...] = value
+        if narrowed is not None:
+            warnings.warn(
+                f"checkpoint stored as {narrowed[0]} but the model runs "
+                f"{narrowed[1]}; weights were cast once at load (set the "
+                "precision policy with repro.nn.dtype before building the "
+                "model to avoid the cast)",
+                UserWarning, stacklevel=2)
+
+    def to(self, dtype):
+        """Cast every parameter (in place) to ``dtype``; returns ``self``.
+
+        The policy governs construction only — use this to migrate an
+        already-built model, e.g. ``check_module`` upcasting a float32
+        model to float64 for finite differencing.
+        """
+        from .dtype import resolve_dtype
+        target = resolve_dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != target:
+                param.data = param.data.astype(target)
+                if param.grad is not None:
+                    param.grad = param.grad.astype(target)
+        return self
 
     # ------------------------------------------------------------------
     # Invocation

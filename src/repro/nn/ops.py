@@ -7,6 +7,26 @@ w.r.t. the op output and accumulate gradients into each parent that
 requires them, using :func:`repro.nn.tensor.unbroadcast` to undo numpy
 broadcasting.
 
+Dtype discipline
+----------------
+Ops must preserve the dtype of their tensor inputs (the policy dtype
+from :mod:`repro.nn.dtype`).  Under NEP 50 numpy promotion, python
+scalars are "weak" (``float32_array * 0.5`` stays float32) but numpy
+scalars and bool arrays are not (``np.prod(...)`` yields a strong
+int64/float64 scalar, and ``bool_array + 0.5`` promotes to float64), so
+coefficient arrays derived from masks are built with explicit dtypes
+below — a silent promotion to float64 in one backward closure would
+drag the whole gradient plane back to double precision.
+
+Gradient ownership
+------------------
+Backward closures pass ``owned=True`` to ``Tensor._accumulate`` when the
+array they hand over is freshly computed inside the closure; the tensor
+then adopts it as its gradient buffer without a copy.  Closures that
+forward the *incoming* gradient, or a view of it (reshape/transpose/
+concat slices), must not claim ownership — the same buffer may feed a
+sibling branch of the graph.
+
 Op registry
 -----------
 Each primitive is declared with the :func:`differentiable` decorator,
@@ -181,7 +201,7 @@ def sub(a, b):
         if a.requires_grad:
             a._accumulate(unbroadcast(grad, a.shape))
         if b.requires_grad:
-            b._accumulate(unbroadcast(-grad, b.shape))
+            b._accumulate(unbroadcast(-grad, b.shape), owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -199,9 +219,9 @@ def mul(a, b):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(unbroadcast(grad * b.data, a.shape))
+            a._accumulate(unbroadcast(grad * b.data, a.shape), owned=True)
         if b.requires_grad:
-            b._accumulate(unbroadcast(grad * a.data, b.shape))
+            b._accumulate(unbroadcast(grad * a.data, b.shape), owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -219,9 +239,10 @@ def div(a, b):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(unbroadcast(grad / b.data, a.shape))
+            a._accumulate(unbroadcast(grad / b.data, a.shape), owned=True)
         if b.requires_grad:
-            b._accumulate(unbroadcast(-grad * a.data / (b.data ** 2), b.shape))
+            b._accumulate(unbroadcast(-grad * a.data / (b.data ** 2), b.shape),
+                          owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -235,7 +256,7 @@ def neg(a):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(-grad)
+            a._accumulate(-grad, owned=True)
 
     return Tensor._make(-a.data, (a,), backward)
 
@@ -261,9 +282,10 @@ def power(a, exponent):
             if exponent == 0.0:
                 # d/dx x^0 = 0 everywhere; the generic formula would
                 # evaluate 0 * x^-1 and emit NaN at x = 0.
-                a._accumulate(np.zeros_like(a.data))
+                a._accumulate(np.zeros_like(a.data), owned=True)
             else:
-                a._accumulate(grad * exponent * a.data ** (exponent - 1.0))
+                a._accumulate(grad * exponent * a.data ** (exponent - 1.0),
+                              owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -277,7 +299,7 @@ def abs(a):  # noqa: A001 - mirrors numpy naming
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * np.sign(a.data))
+            a._accumulate(grad * np.sign(a.data), owned=True)
 
     return Tensor._make(np.abs(a.data), (a,), backward)
 
@@ -310,14 +332,17 @@ def maximum(a, b):
     a_wins = a.data > b.data
     tie = a.data == b.data
     out_data = np.where(a_wins | tie, a.data, b.data)
-    coeff_a = a_wins + 0.5 * tie
+    # Built with an explicit dtype: bool + python-float arithmetic would
+    # promote the coefficients (and thus the gradients) to float64.
+    coeff_a = a_wins.astype(out_data.dtype)
+    coeff_a[tie] = 0.5
     coeff_b = 1.0 - coeff_a
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(unbroadcast(grad * coeff_a, a.shape))
+            a._accumulate(unbroadcast(grad * coeff_a, a.shape), owned=True)
         if b.requires_grad:
-            b._accumulate(unbroadcast(grad * coeff_b, b.shape))
+            b._accumulate(unbroadcast(grad * coeff_b, b.shape), owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -329,14 +354,15 @@ def minimum(a, b):
     a_wins = a.data < b.data
     tie = a.data == b.data
     out_data = np.where(a_wins | tie, a.data, b.data)
-    coeff_a = a_wins + 0.5 * tie
+    coeff_a = a_wins.astype(out_data.dtype)
+    coeff_a[tie] = 0.5
     coeff_b = 1.0 - coeff_a
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(unbroadcast(grad * coeff_a, a.shape))
+            a._accumulate(unbroadcast(grad * coeff_a, a.shape), owned=True)
         if b.requires_grad:
-            b._accumulate(unbroadcast(grad * coeff_b, b.shape))
+            b._accumulate(unbroadcast(grad * coeff_b, b.shape), owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -352,7 +378,7 @@ def clip(a, low, high):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * mask)
+            a._accumulate(grad * mask, owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -374,9 +400,9 @@ def where(condition, a, b):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(unbroadcast(grad * cond, a.shape))
+            a._accumulate(unbroadcast(grad * cond, a.shape), owned=True)
         if b.requires_grad:
-            b._accumulate(unbroadcast(grad * (~cond), b.shape))
+            b._accumulate(unbroadcast(grad * (~cond), b.shape), owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -395,7 +421,7 @@ def exp(a):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * out_data)
+            a._accumulate(grad * out_data, owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -410,7 +436,7 @@ def log(a):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad / a.data)
+            a._accumulate(grad / a.data, owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -425,7 +451,7 @@ def sqrt(a):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * 0.5 / out_data)
+            a._accumulate(grad * 0.5 / out_data, owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -440,14 +466,19 @@ def tanh(a):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * (1.0 - out_data ** 2))
+            a._accumulate(grad * (1.0 - out_data ** 2), owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
 
-def _stable_sigmoid(x):
-    """Numerically stable logistic sigmoid on a raw numpy array."""
-    out = np.empty_like(x)
+def _stable_sigmoid(x, out=None):
+    """Numerically stable logistic sigmoid on a raw numpy array.
+
+    With ``out`` the result is written into that array (which may be
+    ``x`` itself, or a view such as a gate slice) instead of a fresh
+    allocation.
+    """
+    out = np.empty_like(x) if out is None else out
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])
@@ -465,7 +496,7 @@ def sigmoid(a):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * out_data * (1.0 - out_data))
+            a._accumulate(grad * out_data * (1.0 - out_data), owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -481,7 +512,7 @@ def relu(a):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * mask)
+            a._accumulate(grad * mask, owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -493,12 +524,15 @@ def leaky_relu(a, negative_slope=0.01):
     """Leaky ReLU with configurable negative-side slope."""
     a = as_tensor(a)
     mask = a.data > 0
-    slope = np.where(mask, 1.0, negative_slope)
+    # np.where with python-float branches yields float64; pin the policy
+    # dtype so the slope (and every gradient through it) stays put.
+    dt = a.data.dtype
+    slope = np.where(mask, dt.type(1.0), dt.type(negative_slope))
     out_data = a.data * slope
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * slope)
+            a._accumulate(grad * slope, owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -550,12 +584,15 @@ def mean(a, axis=None, keepdims=False):
     """Mean over the given axis (or all axes)."""
     a = as_tensor(a)
     out_data = a.data.mean(axis=axis, keepdims=keepdims)
-    count = a.data.size if axis is None else np.prod(
-        [a.shape[ax % a.ndim] for ax in (axis if isinstance(axis, tuple) else (axis,))])
+    # A python int: an np.prod scalar is "strong" under NEP 50 and would
+    # promote float32 gradients to float64 in the division below.
+    count = a.data.size if axis is None else int(np.prod(
+        [a.shape[ax % a.ndim] for ax in (axis if isinstance(axis, tuple) else (axis,))]))
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(_expand_reduced(grad, a.shape, axis, keepdims) / count)
+            a._accumulate(_expand_reduced(grad, a.shape, axis, keepdims) / count,
+                          owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -580,12 +617,13 @@ def max(a, axis=None, keepdims=False):  # noqa: A001
     a = as_tensor(a)
     out_data = a.data.max(axis=axis, keepdims=keepdims)
     expanded = a.data.max(axis=axis, keepdims=True) if axis is not None else out_data
-    mask = (a.data == expanded).astype(np.float64)
+    mask = (a.data == expanded).astype(a.data.dtype)
     mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(_expand_reduced(grad, a.shape, axis, keepdims) * mask)
+            a._accumulate(_expand_reduced(grad, a.shape, axis, keepdims) * mask,
+                          owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -654,7 +692,7 @@ def matmul(a, b):
                 if a_data.ndim == 1:
                     grad_a = grad_a.reshape(a_data.shape[-1:]) if grad_a.ndim <= 2 \
                         else grad_a.sum(axis=tuple(range(grad_a.ndim - 2))).reshape(-1)
-            a._accumulate(unbroadcast(grad_a, a.shape))
+            a._accumulate(unbroadcast(grad_a, a.shape), owned=True)
         if b.requires_grad:
             if a_data.ndim == 1:
                 if b_data.ndim == 1:
@@ -669,7 +707,7 @@ def matmul(a, b):
                     grad_b = grad_b[..., 0]
                     if grad_b.ndim > 1:
                         grad_b = grad_b.sum(axis=tuple(range(grad_b.ndim - 1)))
-            b._accumulate(unbroadcast(grad_b, b.shape))
+            b._accumulate(unbroadcast(grad_b, b.shape), owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -690,9 +728,11 @@ def outer_last(a, b):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(unbroadcast((grad * b.data[..., None, :]).sum(-1), a.shape))
+            a._accumulate(unbroadcast((grad * b.data[..., None, :]).sum(-1), a.shape),
+                          owned=True)
         if b.requires_grad:
-            b._accumulate(unbroadcast((grad * a.data[..., :, None]).sum(-2), b.shape))
+            b._accumulate(unbroadcast((grad * a.data[..., :, None]).sum(-2), b.shape),
+                          owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -781,7 +821,7 @@ def getitem(a, index):
         if a.requires_grad:
             full = np.zeros_like(a.data)
             np.add.at(full, index, grad)
-            a._accumulate(full)
+            a._accumulate(full, owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -894,6 +934,8 @@ def unbind_time(a):
                 # steps accumulate into their slice of the same array.
                 if a.grad is None:
                     a.grad = np.zeros_like(a.data)
+                    if _bench_hooks._PROFILERS:
+                        _bench_hooks.grad_alloc(a.grad.nbytes)
                 a.grad[:, t] += grad
         return backward
 
@@ -939,7 +981,7 @@ def softmax(a, axis=-1):
     def backward(grad):
         if a.requires_grad:
             dot = (grad * out_data).sum(axis=axis, keepdims=True)
-            a._accumulate(out_data * (grad - dot))
+            a._accumulate(out_data * (grad - dot), owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -960,7 +1002,8 @@ def log_softmax(a, axis=-1):
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+            a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True),
+                          owned=True)
 
     return Tensor._make(out_data, (a,), backward)
 
@@ -996,10 +1039,13 @@ def softmax_cross_entropy(logits, targets):
     def backward(grad):
         if logits.requires_grad:
             # d loss_i / d logits_i = softmax_i - onehot_i, row-scaled by
-            # the incoming per-sample gradient.
-            full = np.exp(log_probs) * grad[:, None]
+            # the incoming per-sample gradient.  One buffer: exp writes
+            # it, the row scale and one-hot subtraction update in place,
+            # and the tensor adopts it as its gradient without a copy.
+            full = np.exp(log_probs)
+            full *= grad[:, None]
             full[rows, targets] -= grad
-            logits._accumulate(full)
+            logits._accumulate(full, owned=True)
 
     return Tensor._make(out_data, (logits,), backward)
 
@@ -1046,33 +1092,65 @@ def gru_step(x, h, w_ih, w_hh, b_ih, b_hh):
 
     xh = np.concatenate([x.data, h.data], axis=-1)
     w_all = np.concatenate([w_ih.data, w_hh.data], axis=0)
-    gates = xh @ w_all + (b_ih.data + b_hh.data)     # summed z | r | n
+    gates = xh @ w_all                               # summed z | r | n
+    gates += b_ih.data + b_hh.data
     # The candidate needs n_x and n_h separately (reset scales only n_h);
     # recover n_x from the summed gate instead of a third full matmul.
-    n_h = h.data @ w_hh.data[:, 2 * hidden:] + b_hh.data[2 * hidden:]
-    z = _stable_sigmoid(gates[:, :hidden])
-    r = _stable_sigmoid(gates[:, hidden:2 * hidden])
-    n = np.tanh((gates[:, 2 * hidden:] - n_h) + r * n_h)
-    out_data = z * h.data + (1.0 - z) * n
+    n_h = h.data @ w_hh.data[:, 2 * hidden:]
+    n_h += b_hh.data[2 * hidden:]
+    # Gate activations overwrite their pre-activation slices of the one
+    # ``gates`` buffer — the pre-activations are never needed again.
+    z = _stable_sigmoid(gates[:, :hidden], out=gates[:, :hidden])
+    r = _stable_sigmoid(gates[:, hidden:2 * hidden],
+                        out=gates[:, hidden:2 * hidden])
+    n_pre = gates[:, 2 * hidden:]
+    n_pre -= n_h
+    n_pre += r * n_h
+    n = np.tanh(n_pre, out=n_pre)
+    out_data = h.data - n                            # z*h + (1-z)*n
+    out_data *= z
+    out_data += n
 
     def backward(grad):
-        d_z_pre = grad * (h.data - n) * z * (1.0 - z)
-        d_n_pre = grad * (1.0 - z) * (1.0 - n * n)
-        d_r_pre = d_n_pre * n_h * r * (1.0 - r)
-        d_gates_x = np.concatenate([d_z_pre, d_r_pre, d_n_pre], axis=-1)
-        d_gates_h = np.concatenate([d_z_pre, d_r_pre, d_n_pre * r], axis=-1)
+        # One (batch, 3H) buffer holds the x-side gate gradients; the
+        # three blocks are filled in place via out= ufuncs instead of
+        # three temporaries plus an np.concatenate copy.
+        d_gates = np.empty_like(gates)
+        d_z = d_gates[:, :hidden]
+        d_r = d_gates[:, hidden:2 * hidden]
+        d_n = d_gates[:, 2 * hidden:]
+        one_minus = 1.0 - z
+        np.multiply(n, n, out=d_n)                   # d_n_pre
+        np.subtract(1.0, d_n, out=d_n)
+        d_n *= grad
+        d_n *= one_minus
+        np.subtract(h.data, n, out=d_z)              # d_z_pre
+        d_z *= grad
+        d_z *= z
+        d_z *= one_minus
+        np.subtract(1.0, r, out=one_minus)           # buffer becomes 1-r
+        np.multiply(d_n, n_h, out=d_r)               # d_r_pre
+        d_r *= r
+        d_r *= one_minus
+        if h.requires_grad or w_hh.requires_grad or b_hh.requires_grad:
+            # h-side gates differ only in the candidate block (scaled by
+            # the reset gate): one copy, one in-place scale.
+            d_gates_h = d_gates.copy()
+            d_gates_h[:, 2 * hidden:] *= r
         if x.requires_grad:
-            x._accumulate(d_gates_x @ w_ih.data.T)
+            x._accumulate(d_gates @ w_ih.data.T, owned=True)
         if h.requires_grad:
-            h._accumulate(grad * z + d_gates_h @ w_hh.data.T)
+            grad_h = d_gates_h @ w_hh.data.T
+            grad_h += grad * z
+            h._accumulate(grad_h, owned=True)
         if w_ih.requires_grad:
-            w_ih._accumulate(x.data.T @ d_gates_x)
+            w_ih._accumulate(x.data.T @ d_gates, owned=True)
         if w_hh.requires_grad:
-            w_hh._accumulate(h.data.T @ d_gates_h)
+            w_hh._accumulate(h.data.T @ d_gates_h, owned=True)
         if b_ih.requires_grad:
-            b_ih._accumulate(d_gates_x.sum(axis=0))
+            b_ih._accumulate(d_gates.sum(axis=0), owned=True)
         if b_hh.requires_grad:
-            b_hh._accumulate(d_gates_h.sum(axis=0))
+            b_hh._accumulate(d_gates_h.sum(axis=0), owned=True)
 
     return Tensor._make(out_data, (x, h, w_ih, w_hh, b_ih, b_hh), backward)
 
@@ -1096,11 +1174,14 @@ def dropout_mask(a, rate, rng):
     if rate <= 0.0:
         return a
     keep = 1.0 - rate
-    mask = (rng.random(a.shape) < keep) / keep
+    # astype + in-place divide keeps the mask (and the gradients through
+    # it) in the policy dtype; bool / python-float would give float64.
+    mask = (rng.random(a.shape) < keep).astype(a.data.dtype)
+    mask /= keep
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(grad * mask)
+            a._accumulate(grad * mask, owned=True)
 
     return Tensor._make(a.data * mask, (a,), backward)
 
@@ -1122,6 +1203,6 @@ def embedding_lookup(table, indices):
             full = np.zeros_like(table.data)
             np.add.at(full, indices.reshape(-1),
                       grad.reshape(-1, table.shape[-1]))
-            table._accumulate(full)
+            table._accumulate(full, owned=True)
 
     return Tensor._make(out_data, (table,), backward)

@@ -96,7 +96,9 @@ class Optimizer:
                 f"{len(self.parameters)} parameters")
         out = []
         for array, param in zip(arrays, self.parameters):
-            array = np.asarray(array, dtype=np.float64)
+            # Moment buffers follow their parameter's dtype (the policy
+            # dtype the model was built under), not a hard-coded float64.
+            array = np.asarray(array, dtype=param.data.dtype)
             if array.shape != param.data.shape:
                 raise ValueError(f"slot {name!r} shape {array.shape} does not "
                                  f"match parameter shape {param.data.shape}")

@@ -9,6 +9,12 @@ Two layers:
   checkpoint state.  Trees are flattened to dotted npz keys
   (``m.0``, ``m.1`` ...) and reconstructed on load, with integer-keyed
   levels turned back into lists.
+
+Arrays round-trip with their exact dtype (npz archives store it), so a
+checkpoint written under one precision policy reloads byte-identical;
+any cast happens at the *consumer* — ``Module.load_state_dict`` casts
+into each parameter's dtype (warning on precision loss), and optimizer
+slot loading casts to the matching parameter's dtype.
 """
 
 from __future__ import annotations

@@ -16,9 +16,19 @@ The design follows the classic "define-by-run" tape:
   graphs (e.g. a 48-step GRU unrolled in Python) do not hit the recursion
   limit.
 
-Only float64 is used internally: this library favours numerical fidelity
-(gradients are checked against finite differences in the test suite) over
-raw speed.
+Floating-point precision is governed by the repo-wide policy in
+:mod:`repro.nn.dtype`: every tensor is coerced to the current default
+dtype (float32 unless overridden), so the engine runs end-to-end in one
+precision while correctness tooling (gradcheck, the finite-difference
+sweeps) scopes float64 locally with ``dtype.autocast``.
+
+Gradient memory is treated as a reusable plane rather than a stream of
+fresh allocations: the first gradient reaching a node seeds ``.grad``
+directly (donated without a copy when the producing op owns the buffer),
+later contributions accumulate in place via ``np.add(..., out=)``, and
+``backward(free_graph=True)`` releases op closures and interior
+gradients as soon as they are consumed.  ``repro.bench`` hooks observe
+every gradient-buffer birth/death to report peak live gradient bytes.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bench import _hooks as _bench_hooks
+from .dtype import get_default_dtype
 
 __all__ = ["Tensor", "unbroadcast", "as_tensor", "no_grad", "is_grad_enabled"]
 
@@ -95,12 +106,18 @@ def unbroadcast(grad, shape):
 
 
 def _coerce(value):
-    """Convert a scalar / array-like into a float64 numpy array."""
+    """Convert a scalar / array-like into an array of the policy dtype.
+
+    The target precision comes from :func:`repro.nn.dtype.get_default_dtype`
+    (float32 by default); arrays already in the policy dtype pass through
+    without a copy.
+    """
+    dtype = get_default_dtype()
     if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
+        if value.dtype != dtype:
+            return value.astype(dtype)
         return value
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=dtype)
 
 
 def as_tensor(value, requires_grad=False):
@@ -116,7 +133,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Scalar, sequence, or numpy array.  Stored as float64.
+        Scalar, sequence, or numpy array.  Stored in the policy dtype
+        (see :mod:`repro.nn.dtype`; float32 by default).
     requires_grad:
         Whether gradients should be accumulated into ``.grad`` during
         :meth:`backward`.
@@ -192,20 +210,42 @@ class Tensor:
             debug._on_forward(out, parents, out._op)
         return out
 
-    def _accumulate(self, grad):
+    def _accumulate(self, grad, owned=False):
+        """Add ``grad`` into ``.grad``, reusing buffers where possible.
+
+        The first contribution *seeds* the gradient buffer instead of
+        allocating zeros and adding into them; with ``owned=True`` the
+        caller donates a freshly computed array and no copy is made at
+        all.  Ops must only pass ``owned=True`` for arrays they
+        allocated themselves in the backward closure — never for the
+        incoming gradient or a view of it, which may be aliased by a
+        sibling branch of the graph.  Later contributions accumulate in
+        place via ``np.add(..., out=)``.
+        """
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            if (owned and isinstance(grad, np.ndarray)
+                    and grad.dtype == self.data.dtype
+                    and grad.shape == self.data.shape
+                    and grad.flags.writeable):
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=self.data.dtype)
+            if _bench_hooks._PROFILERS:
+                _bench_hooks.grad_alloc(self.grad.nbytes)
+        else:
+            np.add(self.grad, grad, out=self.grad)
 
     def zero_grad(self):
         """Reset the accumulated gradient to ``None``."""
+        if self.grad is not None and _bench_hooks._PROFILERS:
+            _bench_hooks.grad_free(self.grad.nbytes)
         self.grad = None
 
     def detach(self):
         """Return a new tensor sharing data but cut from the graph."""
         return Tensor(self.data)
 
-    def backward(self, grad=None):
+    def backward(self, grad=None, free_graph=True):
         """Backpropagate from this tensor through the recorded graph.
 
         Parameters
@@ -213,6 +253,13 @@ class Tensor:
         grad:
             Gradient of some downstream scalar w.r.t. this tensor.  Defaults
             to 1 for scalar tensors; required otherwise.
+        free_graph:
+            When true (the default), each node's backward closure,
+            parent references, and interior gradient are released as
+            soon as they are consumed, so peak live gradient memory
+            stays at a couple of activations instead of the whole tape.
+            Pass ``False`` to keep the closures for a second backward
+            over the same graph.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
@@ -222,7 +269,7 @@ class Tensor:
                                    "requires a scalar tensor")
             grad = np.ones_like(self.data)
         else:
-            grad = _coerce(grad)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if grad.shape != self.data.shape:
                 raise ValueError(f"gradient shape {grad.shape} does not match "
                                  f"tensor shape {self.data.shape}")
@@ -261,11 +308,15 @@ class Tensor:
                 if _ANOMALY_STATE is not None:
                     from . import debug
                     debug._on_backward(node)
-                # Free intermediate gradients and graph references eagerly:
-                # leaves (parameters / inputs) have no _backward and keep theirs.
+                # Free intermediate gradients eagerly in every mode —
+                # a second backward must not double-count them; leaves
+                # (parameters / inputs) have no _backward and keep theirs.
+                if node.grad is not None and _bench_hooks._PROFILERS:
+                    _bench_hooks.grad_free(node.grad.nbytes)
                 node.grad = None
-                node._parents = ()
-                node._backward = None
+                if free_graph:
+                    node._parents = ()
+                    node._backward = None
 
     # ------------------------------------------------------------------
     # Operators (implemented in ops.py, attached below to avoid a cycle)

@@ -210,6 +210,14 @@ class Predictor:
         checkpoint:
             ``"best"`` (best-on-validation; falls back to ``"last"``
             when no best snapshot exists) or ``"last"``.
+
+        The model is rebuilt under the *current* precision policy
+        (:func:`repro.nn.get_default_dtype`); a checkpoint stored in a
+        wider float dtype (e.g. a float64 run served under float32) is
+        cast once at load with a ``UserWarning``.  Bit-identity
+        guarantees between training-time validation and served scores
+        hold per dtype: serve under the dtype the run trained with to
+        reproduce its scores exactly.
         """
         from ..baselines import ModelSpec
         from ..nn.serialization import load_weights

@@ -200,7 +200,8 @@ class Engine:
         if self.num_classes > 1:
             loss = cross_entropy(logits, labels.astype(int))
         else:
-            loss = bce_with_logits(logits, labels.astype(float))
+            loss = bce_with_logits(
+                logits, labels.astype(nn.get_default_dtype()))
         loss.backward()
         return loss.item()
 

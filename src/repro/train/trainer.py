@@ -19,6 +19,8 @@ training loop.  See docs/ARCHITECTURE.md.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .callbacks import (AnomalyGuard, BatchTimer, Checkpointer,
                         EarlyStopping, JSONLLogger, LRSchedulerCallback)
 from .engine import Engine, TrainingHistory
@@ -125,6 +127,7 @@ class Trainer:
                 "batch_size": batch_size, "max_epochs": max_epochs,
                 "patience": patience, "clip_norm": clip_norm,
                 "seed": seed, "monitor": monitor,
+                "dtype": np.dtype(nn.get_default_dtype()).name,
                 "anomaly_mode": bool(anomaly_mode),
                 "scheduler": (type(self.scheduler).__name__
                               if self.scheduler is not None else None),

@@ -1,0 +1,20 @@
+"""Baseline-model tests run under the float64 policy.
+
+Several of these files pin exact equivalences (vectorized per-feature
+GRU vs loop, the FM linear-time identity) at 1e-10 tolerances that only
+hold in float64.  Float32 coverage of the same models comes from the
+precision-parity and bench lanes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.dtype import autocast
+
+
+# Module-scoped so it wraps module-scoped model fixtures too (autouse
+# fixtures instantiate before non-autouse ones of the same scope).
+@pytest.fixture(autouse=True, scope="module")
+def float64_policy():
+    with autocast(np.float64):
+        yield

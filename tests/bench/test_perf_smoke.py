@@ -2,11 +2,13 @@
 
 Excluded from tier-1 (timing on shared machines is noisy); run it
 deliberately via ``pytest -m bench``.  The test trains the small GRU
-baseline on the fixed synthetic benchmark cohort and fails if throughput
-drops below the floor recorded in ``benchmarks/results/perf_floor.json``
-— a deliberately conservative ~35% of the measured fused throughput, so
-it only trips on real regressions (e.g. losing the fused kernels), not
-machine noise.  See docs/PERFORMANCE.md for the floor-update protocol.
+baseline on the fixed synthetic benchmark cohort — once per precision
+policy dtype — and fails if throughput drops below that dtype's floor
+recorded in ``benchmarks/results/perf_floor.json``.  Each floor is a
+deliberately conservative ~35% of the measured fused throughput, so it
+only trips on real regressions (e.g. losing the fused kernels, or the
+float32 plane silently computing in float64), not machine noise.  See
+docs/PERFORMANCE.md for the floor-update protocol.
 """
 
 import json
@@ -28,22 +30,27 @@ def floor_spec():
 
 
 def test_floor_file_is_well_formed(floor_spec):
-    assert floor_spec["schema"] == "repro.bench/perf-floor-v1"
-    assert 0 < floor_spec["floor_steps_per_sec"] \
-        < floor_spec["measured_steps_per_sec"]
+    assert floor_spec["schema"] == "repro.bench/perf-floor-v2"
+    assert set(floor_spec["dtypes"]) == {"float32", "float64"}
+    for entry in floor_spec["dtypes"].values():
+        assert 0 < entry["floor_steps_per_sec"] \
+            < entry["measured_steps_per_sec"]
 
 
-def test_training_throughput_above_floor(floor_spec):
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_training_throughput_above_floor(floor_spec, dtype):
     spec = floor_spec["benchmark"]
     result = benchmark_training(
         model_name=spec["model"], task=spec["task"], epochs=spec["epochs"],
         num_admissions=spec["num_admissions"],
         batch_size=spec["batch_size"], seed=spec["seed"],
-        fused=spec["fused"], with_profiler=False)
-    floor = floor_spec["floor_steps_per_sec"]
+        fused=spec["fused"], with_profiler=False, dtype=dtype)
+    lane = floor_spec["dtypes"][dtype]
+    floor = lane["floor_steps_per_sec"]
     assert result["steps_per_sec"] >= floor, (
-        f"throughput regression: {result['steps_per_sec']:.1f} steps/sec "
-        f"is below the recorded floor of {floor:.1f} "
-        f"(measured when fused: {floor_spec['measured_steps_per_sec']:.1f}). "
+        f"throughput regression under {dtype}: "
+        f"{result['steps_per_sec']:.1f} steps/sec is below the recorded "
+        f"floor of {floor:.1f} "
+        f"(measured when fused: {lane['measured_steps_per_sec']:.1f}). "
         f"If this machine is genuinely slower, re-measure and update "
         f"{FLOOR_PATH.name}; see docs/PERFORMANCE.md.")

@@ -180,25 +180,55 @@ class TestBackwardAttribution:
 
 
 class TestBytesAndGradAccounting:
+    # Byte expectations scale with the precision policy's itemsize
+    # (8 under float64, 4 under float32).
+    @staticmethod
+    def _itemsize():
+        from repro.nn import get_default_dtype
+        return np.dtype(get_default_dtype()).itemsize
+
     def test_forward_bytes_equal_output_allocation(self):
         a = Tensor(np.ones((3, 4)))
         with profile() as prof:
             ops.add(a, a)
-        assert prof.op("add").forward_bytes == 3 * 4 * 8
+        assert prof.op("add").forward_bytes == 3 * 4 * self._itemsize()
 
     def test_list_valued_op_bytes_sum_over_outputs(self):
         a = Tensor(np.ones((2, 6)))
         with profile() as prof:
             ops.split(a, 3, axis=-1)
         # split emits three (2, 2) tensors itself (via three getitems).
-        assert prof.op("split").forward_bytes == 2 * 6 * 8
+        assert prof.op("split").forward_bytes == 2 * 6 * self._itemsize()
 
     def test_backward_bytes_equal_incoming_gradient(self):
+        size = self._itemsize()
         a = Tensor(np.ones((3, 4)), requires_grad=True)
         with profile() as prof:
             ops.sum(ops.exp(a)).backward()
-        assert prof.op("exp").backward_bytes == 3 * 4 * 8  # (3, 4) grad
-        assert prof.op("sum").backward_bytes == 8          # scalar grad
+        assert prof.op("exp").backward_bytes == 3 * 4 * size  # (3, 4) grad
+        assert prof.op("sum").backward_bytes == size          # scalar grad
+
+    def test_peak_grad_bytes_tracks_live_gradients(self):
+        size = self._itemsize()
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        with profile() as prof:
+            loss = ops.sum(ops.exp(a))
+            loss.backward()
+        # At the peak, the scalar loss grad, the (3, 4) exp-node grad,
+        # and the (3, 4) leaf grad can all be live simultaneously.
+        assert prof.peak_grad_bytes >= 3 * 4 * size
+        assert prof.peak_grad_bytes <= 2 * (3 * 4 * size) + size
+
+    def test_peak_grad_bytes_resets_between_top_level_profiles(self):
+        a = Tensor(np.ones((5, 5)), requires_grad=True)
+        with profile() as first:
+            ops.sum(ops.tanh(a)).backward()
+        a.zero_grad()
+        with profile() as second:
+            ops.sum(a).backward()
+        # The second run's much smaller backward must not inherit the
+        # first run's live-byte high-water mark.
+        assert second.peak_grad_bytes < first.peak_grad_bytes
 
     def test_grad_graph_outputs_counts_only_graph_nodes(self):
         a = Tensor(np.ones(3), requires_grad=True)

@@ -1,0 +1,23 @@
+"""Core paper-equation tests run under the float64 policy.
+
+These modules verify analytic identities (the paper's Eqs. 1-15,
+affineness/attention properties, independent numpy re-derivations) at
+1e-9..1e-12 tolerances — that is a statement about the *math*, not the
+precision policy, and it only holds in float64.  The float32 compute
+plane gets its coverage from tests/nn/test_dtype_policy.py,
+tests/train/test_precision_parity.py, and the fused-equivalence float32
+lane.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.dtype import autocast
+
+
+# Module-scoped so it wraps module-scoped model fixtures too (autouse
+# fixtures instantiate before non-autouse ones of the same scope).
+@pytest.fixture(autouse=True, scope="module")
+def float64_policy():
+    with autocast(np.float64):
+        yield

@@ -1,9 +1,21 @@
-"""Tests of weight initializers."""
+"""Tests of weight initializers.
+
+The numerical-property assertions (orthonormality at 1e-10, etc.) test
+the initializer math, not the precision policy, so the whole module runs
+under a float64 autocast.
+"""
 
 import numpy as np
 import pytest
 
 from repro.nn import init
+from repro.nn.dtype import autocast
+
+
+@pytest.fixture(autouse=True)
+def float64_policy():
+    with autocast(np.float64):
+        yield
 
 
 @pytest.fixture

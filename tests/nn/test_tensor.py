@@ -18,13 +18,24 @@ class TestConstruction:
         t = nn.Tensor([1.0, 2.0, 3.0])
         assert t.shape == (3,)
 
-    def test_casts_to_float64(self):
+    def test_casts_to_policy_dtype(self):
         t = nn.Tensor(np.arange(4, dtype=np.int32))
-        assert t.dtype == np.float64
+        assert t.dtype == nn.get_default_dtype()
 
-    def test_no_copy_for_float64(self):
-        arr = np.zeros(3)
+    def test_no_copy_when_dtype_matches_policy(self):
+        arr = np.zeros(3, dtype=nn.get_default_dtype())
         t = nn.Tensor(arr)
+        assert t.data is arr
+
+    def test_casts_wide_floats_down_under_float32_policy(self):
+        with nn.autocast(np.float32):
+            t = nn.Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_float64_preserved_under_float64_policy(self):
+        arr = np.zeros(3)
+        with nn.autocast(np.float64):
+            t = nn.Tensor(arr)
         assert t.data is arr
 
     def test_repr_mentions_grad(self):

@@ -6,6 +6,10 @@ The per-epoch ``train_loss`` / ``val_loss`` trajectories and
 cohort.  The refactored engine must reproduce them bit-for-bit — any
 drift means the loop's order of operations (shuffle RNG consumption,
 loss math, early-stopping decisions) changed.
+
+The recordings were made under float64, so the whole module pins the
+precision policy to float64 (the float32-vs-float64 *statistical*
+parity lives in tests/train/test_precision_parity.py).
 """
 
 import numpy as np
@@ -13,7 +17,14 @@ import pytest
 
 from repro.baselines import GRUClassifier, LogisticRegression
 from repro.data import NUM_FEATURES, SyntheticEMRGenerator, train_val_test_split
+from repro.nn.dtype import autocast
 from repro.train import Trainer
+
+
+@pytest.fixture(autouse=True)
+def float64_policy():
+    with autocast(np.float64):
+        yield
 
 # Trajectories recorded from the pre-refactor trainer (see docstring).
 GRU_TRAIN_LOSS = [0.8028150695562074, 0.8358040233268609,

@@ -1,0 +1,133 @@
+"""Statistical parity of the float32 compute plane with float64.
+
+The precision policy changes *numerics*, never *semantics*: a same-seed
+training run under float32 must land on the same model quality as the
+float64 run (AUROC within 1e-3), and checkpoints must round-trip across
+policies — a float64 checkpoint served or resumed under the float32
+policy is cast once, with a warning, instead of silently widening the
+whole compute plane.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.baselines import GRUClassifier
+from repro.data import NUM_FEATURES, SyntheticEMRGenerator, train_val_test_split
+from repro.nn.dtype import autocast
+from repro.nn.serialization import load_weights, save_weights
+from repro.train import Trainer
+
+
+@pytest.fixture(scope="module")
+def parity_splits():
+    admissions = SyntheticEMRGenerator().sample_many(
+        96, np.random.default_rng(7))
+    return train_val_test_split(admissions, np.random.default_rng(8))
+
+
+def _train(splits, dtype, run_dir=None, max_epochs=3):
+    with autocast(dtype):
+        model = GRUClassifier(NUM_FEATURES, np.random.default_rng(0),
+                              hidden_size=8)
+        trainer = Trainer(model, "mortality", max_epochs=max_epochs,
+                          patience=10, batch_size=16, seed=0,
+                          monitor="loss",
+                          run_dir=str(run_dir) if run_dir else None)
+        trainer.fit(splits.train, splits.validation)
+        metrics = trainer.evaluate(splits.test)
+    return model, trainer, metrics
+
+
+class TestSameSeedParity:
+    def test_float32_matches_float64_auroc_within_1e3(self, parity_splits):
+        _, _, m64 = _train(parity_splits, np.float64)
+        model32, _, m32 = _train(parity_splits, np.float32)
+        for _, param in model32.named_parameters():
+            assert param.data.dtype == np.float32
+        assert abs(m32["auc_roc"] - m64["auc_roc"]) < 1e-3
+        assert abs(m32["bce"] - m64["bce"]) < 1e-3
+
+
+class TestCheckpointDtype:
+    def test_save_load_state_preserves_policy_dtype(self, parity_splits,
+                                                    tmp_path):
+        with autocast(np.float32):
+            model = GRUClassifier(NUM_FEATURES, np.random.default_rng(1),
+                                  hidden_size=8)
+            save_weights(model, tmp_path / "w32.npz")
+            fresh = GRUClassifier(NUM_FEATURES, np.random.default_rng(2),
+                                  hidden_size=8)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # no cast warning expected
+                load_weights(fresh, tmp_path / "w32.npz")
+            for _, param in fresh.named_parameters():
+                assert param.data.dtype == np.float32
+
+    def test_float64_checkpoint_under_float32_warns_and_casts_once(
+            self, parity_splits, tmp_path):
+        with autocast(np.float64):
+            source = GRUClassifier(NUM_FEATURES, np.random.default_rng(3),
+                                   hidden_size=8)
+            save_weights(source, tmp_path / "w64.npz")
+        with autocast(np.float32):
+            target = GRUClassifier(NUM_FEATURES, np.random.default_rng(4),
+                                   hidden_size=8)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                load_weights(target, tmp_path / "w64.npz")
+            cast_warnings = [w for w in caught
+                             if issubclass(w.category, UserWarning)
+                             and "cast once" in str(w.message)]
+            assert len(cast_warnings) == 1  # one warning, not per-parameter
+            for (name, param), (_, src) in zip(
+                    target.named_parameters(), source.named_parameters()):
+                assert param.data.dtype == np.float32, name
+                np.testing.assert_array_equal(
+                    param.data, src.data.astype(np.float32))
+
+    def test_float64_run_resumes_under_float32_policy(self, parity_splits,
+                                                      tmp_path):
+        """PR 3-style resume across a policy change: a float64 run's
+        checkpoint resumes under float32 (warned cast), and the continued
+        training runs in the float32 plane."""
+        run_dir = tmp_path / "run64"
+        _train(parity_splits, np.float64, run_dir=run_dir, max_epochs=2)
+
+        with autocast(np.float32):
+            model = GRUClassifier(NUM_FEATURES, np.random.default_rng(0),
+                                  hidden_size=8)
+            trainer = Trainer(model, "mortality", max_epochs=4, patience=10,
+                              batch_size=16, seed=0, monitor="loss",
+                              run_dir=str(run_dir))
+            with pytest.warns(UserWarning, match="cast once"):
+                history = trainer.fit(parity_splits.train,
+                                      parity_splits.validation, resume=True)
+            assert history.num_epochs == 4
+            for _, param in model.named_parameters():
+                assert param.data.dtype == np.float32
+            metrics = trainer.evaluate(parity_splits.test)
+            assert np.isfinite(metrics["bce"])
+
+    def test_predictor_load_serves_float64_run_under_float32(
+            self, parity_splits, tmp_path):
+        from repro.baselines import build_model
+        from repro.serve import Predictor
+        run_dir = tmp_path / "serve64"
+        # Predictor.load rebuilds from config.json's model_spec, so the
+        # run must use a registry-built model.
+        with autocast(np.float64):
+            model = build_model("GRU", NUM_FEATURES,
+                                np.random.default_rng(0))
+            trainer = Trainer(model, "mortality", max_epochs=2, patience=10,
+                              batch_size=16, seed=0, monitor="loss",
+                              run_dir=str(run_dir))
+            trainer.fit(parity_splits.train, parity_splits.validation)
+
+        with autocast(np.float32):
+            with pytest.warns(UserWarning, match="cast once"):
+                predictor = Predictor.load(str(run_dir))
+            probs = predictor.predict_proba(parity_splits.test)
+        assert probs.dtype == np.float32
+        assert np.all((probs >= 0) & (probs <= 1))
