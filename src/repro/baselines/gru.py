@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..data.batching import sequence_lengths
 from ..nn import ops
 from ..nn.layers import GRU
 from ..nn.inference import InferenceMixin
@@ -22,15 +23,25 @@ class GRUClassifier(Module, InferenceMixin):
 
     With ``hidden_size=64`` on 37 features this lands at the paper's
     ~20k parameters for the GRU row of Table III.
+
+    With ``mask_aware=True`` the encoder receives each admission's true
+    sequence length (from the observation mask) and freezes its hidden
+    state there, so the head reads the state at the last *observed* step
+    instead of after 48 imputed-padding updates — and the fused scan
+    stops at the batch's maximum length, which is what length-bucketed
+    batching (``Trainer(bucket_by_length=True)``) exploits.  Off by
+    default: the padded recurrence is the historically pinned behavior.
     """
 
-    def __init__(self, num_features, rng, hidden_size=64):
+    def __init__(self, num_features, rng, hidden_size=64, mask_aware=False):
         super().__init__()
         self.encoder = GRU(num_features, hidden_size, rng,
                            return_sequences=False)
+        self.mask_aware = mask_aware
         self.weight = Parameter(nn.init.glorot_uniform((hidden_size, 1), rng))
         self.bias = Parameter(np.zeros(1))
 
     def forward_batch(self, batch):
-        last = self.encoder(nn.Tensor(batch.values))
+        lengths = sequence_lengths(batch.mask) if self.mask_aware else None
+        last = self.encoder(nn.Tensor(batch.values), lengths=lengths)
         return (ops.matmul(last, self.weight) + self.bias).reshape(-1)

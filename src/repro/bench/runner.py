@@ -23,7 +23,8 @@ from ..nn.layers import GRUCell
 from ..train import Trainer
 from .profiler import profile
 
-__all__ = ["benchmark_cohort", "benchmark_training", "set_fused"]
+__all__ = ["benchmark_cohort", "benchmark_training", "set_fused",
+           "set_fused_scan"]
 
 
 def set_fused(model, fused):
@@ -34,6 +35,18 @@ def set_fused(model, fused):
     for module in model.modules():
         if isinstance(module, GRUCell):
             module.fused = bool(fused)
+            flipped += 1
+    return flipped
+
+
+def set_fused_scan(model, fused_scan):
+    """Switch every sequence layer carrying a ``fused_scan`` flag
+    (GRU/LSTM) between the sequence-fused scan kernel and the
+    step-unrolled path; returns the number of layers flipped."""
+    flipped = 0
+    for module in model.modules():
+        if hasattr(module, "fused_scan"):
+            module.fused_scan = bool(fused_scan)
             flipped += 1
     return flipped
 
@@ -49,8 +62,8 @@ def benchmark_cohort(num_admissions=64, seed=0):
 
 def benchmark_training(model_name="GRU", task="mortality", epochs=2,
                        num_admissions=64, batch_size=32, seed=0,
-                       fused=True, with_profiler=True, run_dir=None,
-                       dtype=None):
+                       fused=True, fused_scan=True, bucket_by_length=False,
+                       with_profiler=True, run_dir=None, dtype=None):
     """Train ``model_name`` for ``epochs`` epochs and measure throughput.
 
     Early stopping is disabled (patience > epochs) so every run performs
@@ -60,6 +73,11 @@ def benchmark_training(model_name="GRU", task="mortality", epochs=2,
     ``dtype`` scopes the precision policy (``"float32"``/``"float64"``)
     around model construction *and* training via
     :class:`repro.nn.dtype.autocast`; default is the ambient policy.
+    ``fused_scan`` toggles the sequence-fused scan kernels
+    (:func:`set_fused_scan`) and ``bucket_by_length`` enables
+    length-bucketed batching — the latter also flips the model's
+    ``mask_aware`` flag (when it has one) so the scan actually stops at
+    each bucket's maximum length.
 
     Returns a dict with:
 
@@ -85,8 +103,14 @@ def benchmark_training(model_name="GRU", task="mortality", epochs=2,
         model = build_model(model_name, NUM_FEATURES,
                             np.random.default_rng(seed))
         flipped = set_fused(model, fused)
+        scan_layers = set_fused_scan(model, fused_scan)
+        if bucket_by_length and hasattr(model, "mask_aware"):
+            # Bucketing only pays off when the model reads true lengths
+            # from the mask so the scan stops at the bucket maximum.
+            model.mask_aware = True
         trainer = Trainer(model, task, batch_size=batch_size,
                           max_epochs=epochs, patience=epochs + 1, seed=seed,
+                          bucket_by_length=bucket_by_length,
                           run_dir=run_dir)
 
         profiler = None
@@ -105,8 +129,12 @@ def benchmark_training(model_name="GRU", task="mortality", epochs=2,
         "batch_size": batch_size,
         "seed": seed,
         "fused": bool(fused),
+        "fused_scan": bool(fused_scan),
+        "bucket_by_length": bool(bucket_by_length),
+        "mask_aware": bool(getattr(model, "mask_aware", False)),
         "dtype": np.dtype(resolved).name,
         "gru_cells": flipped,
+        "scan_layers": scan_layers,
         "num_parameters": model.num_parameters(),
     }
     if profiler is not None:

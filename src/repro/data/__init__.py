@@ -7,6 +7,7 @@ DESIGN.md for the substitution rationale.
 """
 
 from .archetypes import ARCHETYPES, Archetype, archetype_by_name
+from .batching import BucketSampler, sequence_lengths
 from .cohorts import (MIMIC_III, PHYSIONET2012, PROFILES, CohortProfile,
                       load_cohort, scale_factor)
 from .dataset import (DatasetSplits, EMRDataset, build_dataset,
@@ -29,7 +30,7 @@ __all__ = [
     "Admission", "SyntheticEMRGenerator", "make_patient_a",
     "Standardizer", "clean_values", "impute", "observation_deltas",
     "EMRDataset", "DatasetSplits", "build_dataset", "train_val_test_split",
-    "iterate_batches",
+    "iterate_batches", "BucketSampler", "sequence_lengths",
     "CohortProfile", "PHYSIONET2012", "MIMIC_III", "PROFILES", "load_cohort",
     "scale_factor",
     "save_dataset", "load_dataset",

@@ -1,0 +1,86 @@
+"""Length-aware batching: sequence lengths and the bucket sampler.
+
+Clinical sequences are padded to a fixed horizon (48 steps) but most
+stays stop observing earlier.  :func:`sequence_lengths` recovers each
+admission's true length from the observation mask, and
+:class:`BucketSampler` groups admissions of equal length into the same
+minibatches so the mask-aware scan kernels
+(:func:`repro.nn.ops.gru_scan`) stop at each bucket's maximum length and
+padded timesteps are never computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sequence_lengths", "BucketSampler"]
+
+
+def sequence_lengths(mask):
+    """Per-admission true sequence length from the observation mask.
+
+    The length is the index of the last timestep with at least one
+    observed feature, plus one.  Admissions with no observations at all
+    get length 1 — models still consume one step of imputed values, so a
+    zero-length row would silently emit the initial hidden state.
+
+    Parameters
+    ----------
+    mask:
+        Boolean observation mask of shape ``(N, T, C)``.
+
+    Returns
+    -------
+    ``(N,)`` int64 array of lengths in ``[1, T]``.
+    """
+    mask = np.asarray(mask)
+    if mask.ndim != 3:
+        raise ValueError(f"mask must be (N, T, C), got shape {mask.shape}")
+    observed = mask.any(axis=2)                      # (N, T)
+    steps = observed.shape[1]
+    # argmax on the reversed time axis finds the last observed step.
+    last = steps - 1 - observed[:, ::-1].argmax(axis=1)
+    lengths = np.where(observed.any(axis=1), last + 1, 1)
+    return lengths.astype(np.int64)
+
+
+class BucketSampler:
+    """Deterministic length-bucketed batch sampler.
+
+    Indices are grouped by exact sequence length, shuffled within each
+    bucket, concatenated in ascending length order, sliced into
+    ``batch_size`` chunks, and the chunk order is shuffled.  Every index
+    appears in exactly one batch per epoch (batches at bucket boundaries
+    may mix a few adjacent lengths; the scan still stops at that batch's
+    maximum).  All randomness comes from the caller's ``rng`` and is
+    consumed in a fixed order (buckets ascending, then the batch
+    permutation), so the seed contract of docs/CORRECTNESS.md survives
+    bucketing; with ``rng=None`` the order is fully deterministic.
+    """
+
+    def __init__(self, lengths, batch_size):
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+        if self.lengths.ndim != 1:
+            raise ValueError(
+                f"lengths must be 1-D, got shape {self.lengths.shape}")
+        self.batch_size = int(batch_size)
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, "
+                             f"got {batch_size}")
+
+    def batches(self, rng=None):
+        """Return the epoch's batches as a list of index arrays."""
+        if not self.lengths.size:
+            return []
+        buckets = []
+        for length in np.unique(self.lengths):       # ascending: fixed order
+            idx = np.flatnonzero(self.lengths == length)
+            if rng is not None:
+                rng.shuffle(idx)
+            buckets.append(idx)
+        order = np.concatenate(buckets)
+        batches = [order[start:start + self.batch_size]
+                   for start in range(0, len(order), self.batch_size)]
+        if rng is not None:
+            batches = [batches[i] for i in rng.permutation(len(batches))]
+        return batches

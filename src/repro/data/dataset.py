@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .batching import BucketSampler, sequence_lengths
 from .preprocess import Standardizer, clean_values, impute, observation_deltas
 from .schema import FEATURE_NAMES
 
@@ -71,6 +72,35 @@ class EMRDataset:
             return np.array([index[name] for name in self.archetypes])
         raise ValueError(f"unknown task {task!r}; "
                          "use 'mortality', 'los', or 'phenotype'")
+
+    def lengths(self):
+        """Per-admission true sequence lengths (from the observation mask).
+
+        See :func:`repro.data.batching.sequence_lengths`.
+        """
+        return sequence_lengths(self.mask)
+
+    def truncate(self, num_steps):
+        """Return a copy limited to the first ``num_steps`` timesteps.
+
+        Labels and per-admission annotations are unchanged; only the
+        time axis of the sequence arrays is cut.
+        """
+        if not 0 < num_steps <= self.num_time_steps:
+            raise ValueError(
+                f"num_steps must lie in [1, {self.num_time_steps}], "
+                f"got {num_steps}")
+        return EMRDataset(
+            values=self.values[:, :num_steps],
+            mask=self.mask[:, :num_steps],
+            ever_observed=self.mask[:, :num_steps].any(axis=1),
+            deltas=self.deltas[:, :num_steps],
+            mortality=self.mortality,
+            long_stay=self.long_stay,
+            archetypes=list(self.archetypes),
+            onset_hours=list(self.onset_hours),
+            feature_names=self.feature_names,
+        )
 
     def subset(self, indices):
         """Return a new dataset restricted to the given row indices."""
@@ -175,16 +205,27 @@ def train_val_test_split(admissions, rng, fractions=(0.8, 0.1, 0.1)):
                          standardizer=standardizer)
 
 
-def iterate_batches(dataset, task, batch_size, rng=None):
+def iterate_batches(dataset, task, batch_size, rng=None,
+                    bucket_by_length=False):
     """Yield ``(batch_dataset, labels)`` minibatches.
 
     Shuffles when an ``rng`` is given (training); otherwise iterates in
-    order (evaluation).
+    order (evaluation).  With ``bucket_by_length`` batches are drawn
+    from a :class:`~repro.data.batching.BucketSampler` so admissions of
+    equal true length share minibatches and mask-aware scan kernels skip
+    the padded tail; every admission still appears exactly once per
+    epoch, and the rng is consumed in a fixed order so determinism under
+    the seed contract is preserved.
     """
+    labels = dataset.labels(task)
+    if bucket_by_length:
+        sampler = BucketSampler(dataset.lengths(), batch_size)
+        for batch_idx in sampler.batches(rng):
+            yield dataset.subset(batch_idx), labels[batch_idx]
+        return
     indices = np.arange(len(dataset))
     if rng is not None:
         rng.shuffle(indices)
-    labels = dataset.labels(task)
     for start in range(0, len(indices), batch_size):
         batch_idx = indices[start:start + batch_size]
         yield dataset.subset(batch_idx), labels[batch_idx]

@@ -1,8 +1,13 @@
 """Recurrent layers: GRU, LSTM, and bidirectional wrappers.
 
 Sequences are represented as tensors of shape ``(batch, time, features)``.
-The recurrence is unrolled in Python, which the autodiff tape handles
-naturally; 48-step clinical sequences stay comfortably within budget.
+By default GRU/LSTM run through the sequence-fused scan kernels
+(:func:`repro.nn.ops.gru_scan` / :func:`repro.nn.ops.lstm_scan`): one
+graph node per sequence with a hand-derived backward, instead of one
+node (or node chain) per timestep.  Set ``fused_scan=False`` to fall
+back to the step-unrolled reference path, which the autodiff tape
+handles naturally; ``tests/nn/test_scan_equivalence.py`` pins the two
+paths together in both dtype planes.
 """
 
 from __future__ import annotations
@@ -58,6 +63,19 @@ class GRUCell(Module):
         return update * h + (1.0 - update) * candidate
 
 
+def _step_keep_masks(lengths, steps, batch):
+    """Per-step ``(batch, 1)`` keep-masks for the step-unrolled paths.
+
+    ``None`` when no lengths are given; otherwise ``masks[t]`` is True
+    for rows still active at step ``t`` — frozen rows carry their state
+    unchanged, matching the scan kernels' semantics.
+    """
+    if lengths is None:
+        return None
+    lengths = np.asarray(lengths, dtype=np.int64).reshape(batch, 1)
+    return [lengths > t for t in range(steps)]
+
+
 class GRU(Module):
     """GRU over a full sequence, returning all hidden states.
 
@@ -66,22 +84,40 @@ class GRU(Module):
     return_sequences:
         When true (default), :meth:`forward` returns a (batch, time, hidden)
         tensor; otherwise only the final state (batch, hidden).
+    fused_scan:
+        When true (default), the whole sequence runs through
+        :func:`repro.nn.ops.gru_scan` — one graph node with a single
+        sequence-level backward.  Set false (or ``cell.fused = False``,
+        which implies the step path) for the step-unrolled reference.
+
+    :meth:`forward` accepts optional per-row ``lengths``; rows freeze at
+    their true length on both paths (scan: mask-aware early stop; steps:
+    per-step ``where``).
     """
 
-    def __init__(self, input_size, hidden_size, rng, return_sequences=True):
+    def __init__(self, input_size, hidden_size, rng, return_sequences=True,
+                 fused_scan=True):
         super().__init__()
         self.cell = GRUCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
         self.return_sequences = return_sequences
+        self.fused_scan = fused_scan
 
-    def forward(self, x, h0=None):
-        batch, _, _ = x.shape
+    def forward(self, x, h0=None, lengths=None):
+        batch, steps, _ = x.shape
         h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_size)))
+        if self.fused_scan and self.cell.fused:
+            cell = self.cell
+            return ops.gru_scan(x, h, cell.w_ih, cell.w_hh, cell.b_ih,
+                                cell.b_hh, lengths=lengths,
+                                return_sequences=self.return_sequences)
+        keep = _step_keep_masks(lengths, steps, batch)
         outputs = []
         # unbind_time shares one preallocated per-sequence gradient buffer
         # across steps instead of one full-size scatter per step.
-        for x_t in ops.unbind_time(x):
-            h = self.cell(x_t, h)
+        for t, x_t in enumerate(ops.unbind_time(x)):
+            h_new = self.cell(x_t, h)
+            h = h_new if keep is None else ops.where(keep[t], h_new, h)
             outputs.append(h)
         if self.return_sequences:
             return ops.stack(outputs, axis=1)
@@ -118,24 +154,42 @@ class LSTMCell(Module):
 
 
 class LSTM(Module):
-    """LSTM over a full sequence."""
+    """LSTM over a full sequence.
 
-    def __init__(self, input_size, hidden_size, rng, return_sequences=True):
+    Like :class:`GRU`, runs through :func:`repro.nn.ops.lstm_scan` by
+    default (``fused_scan=True``) and accepts optional per-row
+    ``lengths`` on both paths.
+    """
+
+    def __init__(self, input_size, hidden_size, rng, return_sequences=True,
+                 fused_scan=True):
         super().__init__()
         self.cell = LSTMCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
         self.return_sequences = return_sequences
+        self.fused_scan = fused_scan
 
-    def forward(self, x, state=None):
-        batch, _, _ = x.shape
+    def forward(self, x, state=None, lengths=None):
+        batch, steps, _ = x.shape
         if state is None:
             h = Tensor(np.zeros((batch, self.hidden_size)))
             c = Tensor(np.zeros((batch, self.hidden_size)))
         else:
             h, c = state
+        if self.fused_scan:
+            cell = self.cell
+            return ops.lstm_scan(x, h, c, cell.w_ih, cell.w_hh, cell.bias,
+                                 lengths=lengths,
+                                 return_sequences=self.return_sequences)
+        keep = _step_keep_masks(lengths, steps, batch)
         outputs = []
-        for x_t in ops.unbind_time(x):
-            h, c = self.cell(x_t, (h, c))
+        for t, x_t in enumerate(ops.unbind_time(x)):
+            h_new, c_new = self.cell(x_t, (h, c))
+            if keep is None:
+                h, c = h_new, c_new
+            else:
+                h = ops.where(keep[t], h_new, h)
+                c = ops.where(keep[t], c_new, c)
             outputs.append(h)
         if self.return_sequences:
             return ops.stack(outputs, axis=1)

@@ -48,7 +48,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..bench import _hooks as _bench_hooks
-from .tensor import Tensor, as_tensor, unbroadcast
+from .tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "power", "matmul", "exp", "log",
@@ -57,7 +57,7 @@ __all__ = [
     "reshape", "transpose", "swapaxes", "getitem", "concat", "stack",
     "split", "unbind_time", "softmax", "log_softmax",
     "softmax_cross_entropy", "where", "dropout_mask", "pad_last",
-    "outer_last", "embedding_lookup", "gru_step",
+    "outer_last", "embedding_lookup", "gru_step", "gru_scan", "lstm_scan",
 ]
 
 
@@ -1153,6 +1153,436 @@ def gru_step(x, h, w_ih, w_hh, b_ih, b_hh):
             b_hh._accumulate(d_gates_h.sum(axis=0), owned=True)
 
     return Tensor._make(out_data, (x, h, w_ih, w_hh, b_ih, b_hh), backward)
+
+
+def _sigmoid_into(x, out):
+    """Branch-free sigmoid via ``0.5 * (1 + tanh(x/2))`` for the scans.
+
+    Mathematically identical to :func:`_stable_sigmoid` and equally
+    stable (tanh saturates cleanly), but four strided ufunc passes with
+    no boolean fancy indexing — an order of magnitude cheaper on the
+    small per-timestep gate slabs the scan loop touches.  The scan
+    kernels are held to the step path by tolerance (not bit-identity),
+    so they are free to use it; the per-step kernels keep
+    ``_stable_sigmoid`` whose exact floats historical recordings pin.
+    """
+    np.multiply(x, 0.5, out=out)
+    np.tanh(out, out=out)
+    out += 1.0
+    out *= 0.5
+    return out
+
+
+def _check_scan_lengths(lengths, batch, steps):
+    """Validate per-row sequence lengths for the scan kernels."""
+    if lengths is None:
+        return None
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape != (batch,):
+        raise ValueError(
+            f"lengths shape {lengths.shape} does not match batch {batch}")
+    if lengths.size and (lengths.min() < 0 or lengths.max() > steps):
+        raise ValueError(
+            f"lengths must lie in [0, {steps}], got "
+            f"[{lengths.min()}, {lengths.max()}]")
+    return lengths
+
+
+def _gru_scan_sample(rng):
+    batch, steps, num_in, hidden = 2, 3, 3, 2
+
+    def arrays():
+        return (rng.normal(size=(batch, steps, num_in)),
+                rng.normal(size=(batch, hidden)),
+                rng.normal(size=(num_in, 3 * hidden)) * 0.5,
+                rng.normal(size=(hidden, 3 * hidden)) * 0.5,
+                rng.normal(size=3 * hidden) * 0.1,
+                rng.normal(size=3 * hidden) * 0.1)
+
+    ragged = np.array([1, 3])
+    return [
+        OpSample(lambda x, h, wi, wh, bi, bh: _sqsum(
+            gru_scan(x, h, wi, wh, bi, bh)), *arrays()),
+        OpSample(lambda x, h, wi, wh, bi, bh: _sqsum(
+            gru_scan(x, h, wi, wh, bi, bh, lengths=ragged)), *arrays()),
+        OpSample(lambda x, h, wi, wh, bi, bh: _sqsum(
+            gru_scan(x, h, wi, wh, bi, bh, lengths=ragged,
+                     return_sequences=False)), *arrays()),
+    ]
+
+
+@differentiable(_gru_scan_sample)
+def gru_scan(x, h0, w_ih, w_hh, b_ih, b_hh, lengths=None,
+             return_sequences=True):
+    """Fused GRU over a whole ``(batch, steps, features)`` sequence.
+
+    Extends the coarse-grained-op idiom of :func:`gru_step` from one
+    timestep to the full scan: the input projection ``X @ W_ih`` for all
+    timesteps runs as a single GEMM up front, the python loop touches
+    only the small recurrent ``h @ W_hh`` product plus the elementwise
+    gate tail (all via out= ufuncs into preallocated stacks), and the
+    whole sequence records **one** graph node whose hand-derived backward
+    replays the loop in reverse and then collapses the weight gradients
+    into one big GEMM each.
+
+    ``lengths`` (optional, ``(batch,)`` ints) gives each row's true
+    sequence length: the loop runs only to ``lengths.max()`` and rows are
+    *frozen* once exhausted — ``h_t = h_{t-1}`` for ``t >= lengths[i]``,
+    so the final state equals the state at each row's last real step and
+    padded timesteps cost nothing beyond the masked copy.  Gradients
+    honour the same semantics: frozen steps contribute no gate gradients
+    and pass the carried ``dh`` straight through.
+
+    Returns ``(batch, steps, hidden)`` when ``return_sequences`` (frozen
+    rows repeat their final state over the padded tail) else
+    ``(batch, hidden)``.
+    """
+    x, h0 = as_tensor(x), as_tensor(h0)
+    w_ih, w_hh = as_tensor(w_ih), as_tensor(w_hh)
+    b_ih, b_hh = as_tensor(b_ih), as_tensor(b_hh)
+    if x.data.ndim != 3:
+        raise ValueError(f"gru_scan expects (batch, steps, features) input, "
+                         f"got shape {x.shape}")
+    batch, steps, num_in = x.shape
+    hidden = h0.shape[-1]
+    h2 = 2 * hidden
+    if h0.shape != (batch, hidden) \
+            or w_ih.shape != (num_in, 3 * hidden) \
+            or w_hh.shape != (hidden, 3 * hidden):
+        raise ValueError(
+            f"gru_scan shapes do not line up: x {x.shape}, h0 {h0.shape}, "
+            f"w_ih {w_ih.shape}, w_hh {w_hh.shape}")
+    lengths = _check_scan_lengths(lengths, batch, steps)
+    t_run = steps if lengths is None else (int(lengths.max())
+                                           if lengths.size else 0)
+    min_len = 0 if lengths is None else int(lengths.min())
+
+    # One big GEMM for the input projection of every timestep.  The
+    # time-major copy makes each per-step slice GX[t] contiguous and the
+    # flattened 2-D view free.
+    x_2d = np.ascontiguousarray(
+        x.data[:, :t_run].swapaxes(0, 1)).reshape(t_run * batch, num_in)
+    gx = x_2d @ w_ih.data
+    gx += b_ih.data
+    gx = gx.reshape(t_run, batch, 3 * hidden)
+    dt = gx.dtype
+
+    needs_grad = is_grad_enabled() and any(
+        p.requires_grad for p in (x, h0, w_ih, w_hh, b_ih, b_hh))
+    h_stack = np.empty((t_run + 1, batch, hidden), dtype=dt)
+    h_stack[0] = h0.data
+    if needs_grad:
+        # One (B, 3H) activation slab per step: [z | r | n] post-gate.
+        gact = np.empty((t_run, batch, 3 * hidden), dtype=dt)
+        nhs = np.empty((t_run, batch, hidden), dtype=dt)
+    else:
+        scratch = np.empty((batch, 3 * hidden), dtype=dt)
+
+    w_hh_d, b_hh_d = w_hh.data, b_hh.data
+    gh = np.empty((batch, 3 * hidden), dtype=dt)
+    tmp = np.empty((batch, hidden), dtype=dt)
+    for t in range(t_run):
+        h_prev = h_stack[t]
+        h_new = h_stack[t + 1]
+        g_act = gact[t] if needs_grad else scratch
+        np.matmul(h_prev, w_hh_d, out=gh)
+        gh += b_hh_d
+        gt = gx[t]
+        gt[:, :h2] += gh[:, :h2]
+        _sigmoid_into(gt[:, :h2], out=g_act[:, :h2])
+        z = g_act[:, :hidden]
+        r = g_act[:, hidden:h2]
+        nh = gh[:, h2:]                      # h @ W_hh_n + b_hh_n
+        if needs_grad:
+            nhs[t] = nh
+        n_pre = gt[:, h2:]
+        np.multiply(r, nh, out=tmp)
+        n_pre += tmp
+        n = np.tanh(n_pre, out=g_act[:, h2:])
+        np.subtract(h_prev, n, out=h_new)    # z*h + (1-z)*n
+        h_new *= z
+        h_new += n
+        if lengths is not None and t >= min_len:
+            frozen = lengths <= t
+            h_new[frozen] = h_prev[frozen]
+
+    if return_sequences:
+        out_data = np.empty((batch, steps, hidden), dtype=dt)
+        if t_run:
+            out_data[:, :t_run] = h_stack[1:].swapaxes(0, 1)
+        if t_run < steps:
+            out_data[:, t_run:] = h_stack[t_run][:, None, :]
+    else:
+        out_data = h_stack[t_run].copy()
+
+    def backward(grad):
+        w_ih_d = w_ih.data
+        if return_sequences:
+            # Padded-tail slots all carry the frozen final state.
+            dh = grad[:, t_run:].sum(axis=1)
+        else:
+            dh = grad.copy()
+        dgx = np.empty((t_run, batch, 3 * hidden), dtype=dt)
+        dgh = np.empty_like(dgx)
+        om = np.empty((batch, hidden), dtype=dt)
+        scr = np.empty_like(om)
+        for t in range(t_run - 1, -1, -1):
+            if return_sequences:
+                dh += grad[:, t]
+            g_act = gact[t]
+            z = g_act[:, :hidden]
+            r = g_act[:, hidden:h2]
+            n = g_act[:, h2:]
+            nh = nhs[t]
+            h_prev = h_stack[t]
+            dgx_t, dgh_t = dgx[t], dgh[t]
+            d_z = dgx_t[:, :hidden]
+            d_r = dgx_t[:, hidden:h2]
+            d_n = dgx_t[:, h2:]
+            np.subtract(1.0, z, out=om)              # 1 - z
+            np.multiply(n, n, out=d_n)               # d_n_pre
+            np.subtract(1.0, d_n, out=d_n)
+            d_n *= dh
+            d_n *= om
+            np.subtract(h_prev, n, out=d_z)          # d_z_pre
+            d_z *= dh
+            d_z *= z
+            d_z *= om
+            np.subtract(1.0, r, out=om)              # buffer becomes 1-r
+            np.multiply(d_n, nh, out=d_r)            # d_r_pre
+            d_r *= r
+            d_r *= om
+            # h-side gates differ only in the candidate block (scaled by
+            # the reset gate).
+            dgh_t[:, :h2] = dgx_t[:, :h2]
+            np.multiply(d_n, r, out=dgh_t[:, h2:])
+            frozen = None
+            if lengths is not None and t >= min_len:
+                frozen = lengths <= t
+                dgx_t[frozen] = 0.0
+                dgh_t[frozen] = 0.0
+            carry = dgh_t @ w_hh_d.T
+            np.multiply(dh, z, out=scr)
+            carry += scr
+            if frozen is not None:
+                carry[frozen] = dh[frozen]
+            dh = carry
+        dgx_2d = dgx.reshape(-1, 3 * hidden)
+        dgh_2d = dgh.reshape(-1, 3 * hidden)
+        if x.requires_grad:
+            dx_tm = (dgx_2d @ w_ih_d.T).reshape(t_run, batch, num_in)
+            if t_run == steps:
+                grad_x = np.ascontiguousarray(dx_tm.swapaxes(0, 1))
+            else:
+                grad_x = np.zeros((batch, steps, num_in), dtype=dt)
+                grad_x[:, :t_run] = dx_tm.swapaxes(0, 1)
+            x._accumulate(grad_x, owned=True)
+        if h0.requires_grad:
+            h0._accumulate(dh, owned=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(x_2d.T @ dgx_2d, owned=True)
+        if w_hh.requires_grad:
+            h_prev_2d = h_stack[:t_run].reshape(-1, hidden)
+            w_hh._accumulate(h_prev_2d.T @ dgh_2d, owned=True)
+        if b_ih.requires_grad:
+            b_ih._accumulate(dgx_2d.sum(axis=0), owned=True)
+        if b_hh.requires_grad:
+            b_hh._accumulate(dgh_2d.sum(axis=0), owned=True)
+
+    return Tensor._make(out_data, (x, h0, w_ih, w_hh, b_ih, b_hh), backward)
+
+
+def _lstm_scan_sample(rng):
+    batch, steps, num_in, hidden = 2, 3, 3, 2
+
+    def arrays():
+        return (rng.normal(size=(batch, steps, num_in)),
+                rng.normal(size=(batch, hidden)),
+                rng.normal(size=(batch, hidden)),
+                rng.normal(size=(num_in, 4 * hidden)) * 0.5,
+                rng.normal(size=(hidden, 4 * hidden)) * 0.5,
+                rng.normal(size=4 * hidden) * 0.1)
+
+    ragged = np.array([2, 3])
+    return [
+        OpSample(lambda x, h, c, wi, wh, b: _sqsum(
+            lstm_scan(x, h, c, wi, wh, b)), *arrays()),
+        OpSample(lambda x, h, c, wi, wh, b: _sqsum(
+            lstm_scan(x, h, c, wi, wh, b, lengths=ragged,
+                      return_sequences=False)), *arrays()),
+    ]
+
+
+@differentiable(_lstm_scan_sample)
+def lstm_scan(x, h0, c0, w_ih, w_hh, bias, lengths=None,
+              return_sequences=True):
+    """Fused LSTM over a whole sequence; see :func:`gru_scan`.
+
+    Gate layout ``[input i | forget f | cell g | output o]`` with the
+    single combined bias of :class:`~repro.nn.layers.LSTMCell`.  Frozen
+    rows carry both ``h`` and ``c`` unchanged past their length, and the
+    backward passes both ``dh`` and ``dc`` straight through those steps.
+    Returns the hidden-state sequence (or final hidden state); the final
+    cell state stays internal, as in the layer API.
+    """
+    x, h0, c0 = as_tensor(x), as_tensor(h0), as_tensor(c0)
+    w_ih, w_hh, bias = as_tensor(w_ih), as_tensor(w_hh), as_tensor(bias)
+    if x.data.ndim != 3:
+        raise ValueError(f"lstm_scan expects (batch, steps, features) input, "
+                         f"got shape {x.shape}")
+    batch, steps, num_in = x.shape
+    hidden = h0.shape[-1]
+    h2, h3 = 2 * hidden, 3 * hidden
+    if h0.shape != (batch, hidden) or c0.shape != (batch, hidden) \
+            or w_ih.shape != (num_in, 4 * hidden) \
+            or w_hh.shape != (hidden, 4 * hidden):
+        raise ValueError(
+            f"lstm_scan shapes do not line up: x {x.shape}, h0 {h0.shape}, "
+            f"c0 {c0.shape}, w_ih {w_ih.shape}, w_hh {w_hh.shape}")
+    lengths = _check_scan_lengths(lengths, batch, steps)
+    t_run = steps if lengths is None else (int(lengths.max())
+                                           if lengths.size else 0)
+    min_len = 0 if lengths is None else int(lengths.min())
+
+    x_2d = np.ascontiguousarray(
+        x.data[:, :t_run].swapaxes(0, 1)).reshape(t_run * batch, num_in)
+    gx = x_2d @ w_ih.data
+    gx += bias.data
+    gx = gx.reshape(t_run, batch, 4 * hidden)
+    dt = gx.dtype
+
+    needs_grad = is_grad_enabled() and any(
+        p.requires_grad for p in (x, h0, c0, w_ih, w_hh, bias))
+    h_stack = np.empty((t_run + 1, batch, hidden), dtype=dt)
+    c_stack = np.empty_like(h_stack)
+    h_stack[0] = h0.data
+    c_stack[0] = c0.data
+    if needs_grad:
+        # One (B, 4H) activation slab per step: [i | f | g | o] post-gate.
+        gact = np.empty((t_run, batch, 4 * hidden), dtype=dt)
+        tcs = np.empty((t_run, batch, hidden), dtype=dt)
+    else:
+        scratch = np.empty((batch, 4 * hidden), dtype=dt)
+        scratch_tc = np.empty((batch, hidden), dtype=dt)
+
+    w_hh_d = w_hh.data
+    gh = np.empty((batch, 4 * hidden), dtype=dt)
+    tmp = np.empty((batch, hidden), dtype=dt)
+    for t in range(t_run):
+        h_prev, c_prev = h_stack[t], c_stack[t]
+        h_new, c_new = h_stack[t + 1], c_stack[t + 1]
+        g_act = gact[t] if needs_grad else scratch
+        np.matmul(h_prev, w_hh_d, out=gh)
+        gt = gx[t]
+        gt += gh
+        _sigmoid_into(gt[:, :h2], out=g_act[:, :h2])       # i | f
+        g = np.tanh(gt[:, h2:h3], out=g_act[:, h2:h3])
+        o = _sigmoid_into(gt[:, h3:], out=g_act[:, h3:])
+        i = g_act[:, :hidden]
+        f = g_act[:, hidden:h2]
+        np.multiply(f, c_prev, out=c_new)
+        np.multiply(i, g, out=tmp)
+        c_new += tmp
+        tc = np.tanh(c_new, out=tcs[t] if needs_grad else scratch_tc)
+        np.multiply(o, tc, out=h_new)
+        if lengths is not None and t >= min_len:
+            frozen = lengths <= t
+            h_new[frozen] = h_prev[frozen]
+            c_new[frozen] = c_prev[frozen]
+
+    if return_sequences:
+        out_data = np.empty((batch, steps, hidden), dtype=dt)
+        if t_run:
+            out_data[:, :t_run] = h_stack[1:].swapaxes(0, 1)
+        if t_run < steps:
+            out_data[:, t_run:] = h_stack[t_run][:, None, :]
+    else:
+        out_data = h_stack[t_run].copy()
+
+    def backward(grad):
+        w_ih_d = w_ih.data
+        if return_sequences:
+            dh = grad[:, t_run:].sum(axis=1)
+        else:
+            dh = grad.copy()
+        dc = np.zeros((batch, hidden), dtype=dt)
+        dg = np.empty((t_run, batch, 4 * hidden), dtype=dt)
+        om = np.empty((batch, hidden), dtype=dt)
+        scr = np.empty_like(om)
+        for t in range(t_run - 1, -1, -1):
+            if return_sequences:
+                dh += grad[:, t]
+            g_act = gact[t]
+            i = g_act[:, :hidden]
+            f = g_act[:, hidden:h2]
+            g = g_act[:, h2:h3]
+            o = g_act[:, h3:]
+            tc = tcs[t]
+            c_prev = c_stack[t]
+            dg_t = dg[t]
+            d_i = dg_t[:, :hidden]
+            d_f = dg_t[:, hidden:h2]
+            d_g = dg_t[:, h2:h3]
+            d_o = dg_t[:, h3:]
+            frozen = None
+            if lengths is not None and t >= min_len:
+                frozen = lengths <= t
+            np.multiply(dh, tc, out=d_o)             # d_o_pre
+            d_o *= o
+            np.subtract(1.0, o, out=om)
+            d_o *= om
+            np.multiply(tc, tc, out=scr)             # dh -> dc via tanh(c)
+            np.subtract(1.0, scr, out=scr)
+            scr *= o
+            scr *= dh
+            if frozen is not None:
+                scr[frozen] = 0.0                    # frozen: h_t not from c_t
+            dc += scr
+            np.multiply(dc, g, out=d_i)              # d_i_pre
+            d_i *= i
+            np.subtract(1.0, i, out=om)
+            d_i *= om
+            np.multiply(dc, c_prev, out=d_f)         # d_f_pre
+            d_f *= f
+            np.subtract(1.0, f, out=om)
+            d_f *= om
+            np.multiply(g, g, out=d_g)               # d_g_pre
+            np.subtract(1.0, d_g, out=d_g)
+            d_g *= dc
+            d_g *= i
+            if frozen is not None:
+                dg_t[frozen] = 0.0
+            carry = dg_t @ w_hh_d.T
+            if frozen is not None:
+                dc_frozen = dc[frozen].copy()
+                dc *= f
+                dc[frozen] = dc_frozen
+                carry[frozen] = dh[frozen]
+            else:
+                dc *= f
+            dh = carry
+        dg_2d = dg.reshape(-1, 4 * hidden)
+        if x.requires_grad:
+            dx_tm = (dg_2d @ w_ih_d.T).reshape(t_run, batch, num_in)
+            if t_run == steps:
+                grad_x = np.ascontiguousarray(dx_tm.swapaxes(0, 1))
+            else:
+                grad_x = np.zeros((batch, steps, num_in), dtype=dt)
+                grad_x[:, :t_run] = dx_tm.swapaxes(0, 1)
+            x._accumulate(grad_x, owned=True)
+        if h0.requires_grad:
+            h0._accumulate(dh, owned=True)
+        if c0.requires_grad:
+            c0._accumulate(dc, owned=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(x_2d.T @ dg_2d, owned=True)
+        if w_hh.requires_grad:
+            h_prev_2d = h_stack[:t_run].reshape(-1, hidden)
+            w_hh._accumulate(h_prev_2d.T @ dg_2d, owned=True)
+        if bias.requires_grad:
+            bias._accumulate(dg_2d.sum(axis=0), owned=True)
+
+    return Tensor._make(out_data, (x, h0, c0, w_ih, w_hh, bias), backward)
 
 
 # ----------------------------------------------------------------------

@@ -99,6 +99,10 @@ class Engine:
         Loop settings (paper defaults 64 / 20 / 5.0).
     seed:
         Seed of the batch-shuffling RNG (its state is checkpointed).
+    bucket_by_length:
+        Draw training minibatches from a length-bucketed sampler (see
+        :func:`repro.data.iterate_batches`) so mask-aware models skip
+        padded timesteps; evaluation always iterates in order.
     callbacks:
         Ordered :class:`~repro.train.callbacks.Callback` stack; events
         reach callbacks in list order.
@@ -112,12 +116,14 @@ class Engine:
 
     def __init__(self, model, task, optimizer, *, num_classes=1,
                  batch_size=64, max_epochs=20, clip_norm=5.0, seed=0,
-                 callbacks=(), run_dir=None, config=None):
+                 bucket_by_length=False, callbacks=(), run_dir=None,
+                 config=None):
         self.model = model
         self.task = task
         self.optimizer = optimizer
         self.num_classes = num_classes
         self.batch_size = batch_size
+        self.bucket_by_length = bucket_by_length
         self.max_epochs = max_epochs
         self.clip_norm = clip_norm
         self.callbacks = list(callbacks)
@@ -155,8 +161,9 @@ class Engine:
             self.model.train()
             epoch_losses = []
             for batch_index, (batch, labels) in enumerate(
-                    iterate_batches(train, self.task,
-                                    self.batch_size, self.rng)):
+                    iterate_batches(train, self.task, self.batch_size,
+                                    self.rng,
+                                    bucket_by_length=self.bucket_by_length)):
                 epoch_losses.append(
                     self._run_batch(epoch, batch_index, batch, labels))
 

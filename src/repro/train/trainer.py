@@ -65,6 +65,12 @@ class Trainer:
         offending op (CLI: ``--debug-anomaly``).  Independent of this
         flag, a non-finite training loss always aborts the run instead
         of silently training on garbage.
+    bucket_by_length:
+        Draw training minibatches from the length-bucketed sampler
+        (:class:`repro.data.BucketSampler`) so same-length admissions
+        share batches and mask-aware models skip padded timesteps;
+        every admission still trains exactly once per epoch and the
+        seed contract is preserved.
     run_dir:
         Optional run directory.  When given, every epoch streams to
         ``metrics.jsonl``, the configuration lands in ``config.json``,
@@ -81,7 +87,8 @@ class Trainer:
     def __init__(self, model, task, lr=1e-3, batch_size=64, max_epochs=20,
                  patience=4, clip_norm=5.0, seed=0, monitor="auc_pr",
                  num_classes=1, scheduler_factory=None, anomaly_mode=False,
-                 run_dir=None, checkpoint_every=0, callbacks=()):
+                 bucket_by_length=False, run_dir=None, checkpoint_every=0,
+                 callbacks=()):
         if num_classes > 1 and monitor == "auc_pr":
             monitor = "loss"
         if monitor not in ("auc_pr", "loss"):
@@ -115,7 +122,8 @@ class Trainer:
         self.engine = Engine(
             model, task, self.optimizer, num_classes=num_classes,
             batch_size=batch_size, max_epochs=max_epochs,
-            clip_norm=clip_norm, seed=seed, callbacks=stack,
+            clip_norm=clip_norm, seed=seed,
+            bucket_by_length=bucket_by_length, callbacks=stack,
             run_dir=run_dir,
             config={
                 "model_class": type(model).__name__,
@@ -127,6 +135,7 @@ class Trainer:
                 "batch_size": batch_size, "max_epochs": max_epochs,
                 "patience": patience, "clip_norm": clip_norm,
                 "seed": seed, "monitor": monitor,
+                "bucket_by_length": bool(bucket_by_length),
                 "dtype": np.dtype(nn.get_default_dtype()).name,
                 "anomaly_mode": bool(anomaly_mode),
                 "scheduler": (type(self.scheduler).__name__

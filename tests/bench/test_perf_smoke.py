@@ -5,10 +5,11 @@ deliberately via ``pytest -m bench``.  The test trains the small GRU
 baseline on the fixed synthetic benchmark cohort — once per precision
 policy dtype — and fails if throughput drops below that dtype's floor
 recorded in ``benchmarks/results/perf_floor.json``.  Each floor is a
-deliberately conservative ~35% of the measured fused throughput, so it
-only trips on real regressions (e.g. losing the fused kernels, or the
-float32 plane silently computing in float64), not machine noise.  See
-docs/PERFORMANCE.md for the floor-update protocol.
+deliberately conservative ~35% of the measured throughput with the
+sequence-fused scan kernels and length-bucketed batching enabled, so it
+only trips on real regressions (e.g. losing the scan or fused kernels,
+or the float32 plane silently computing in float64), not machine noise.
+See docs/PERFORMANCE.md for the floor-update protocol.
 """
 
 import json
@@ -30,7 +31,9 @@ def floor_spec():
 
 
 def test_floor_file_is_well_formed(floor_spec):
-    assert floor_spec["schema"] == "repro.bench/perf-floor-v2"
+    assert floor_spec["schema"] == "repro.bench/perf-floor-v3"
+    assert floor_spec["benchmark"]["fused_scan"] is True
+    assert floor_spec["benchmark"]["bucket_by_length"] is True
     assert set(floor_spec["dtypes"]) == {"float32", "float64"}
     for entry in floor_spec["dtypes"].values():
         assert 0 < entry["floor_steps_per_sec"] \
@@ -44,7 +47,9 @@ def test_training_throughput_above_floor(floor_spec, dtype):
         model_name=spec["model"], task=spec["task"], epochs=spec["epochs"],
         num_admissions=spec["num_admissions"],
         batch_size=spec["batch_size"], seed=spec["seed"],
-        fused=spec["fused"], with_profiler=False, dtype=dtype)
+        fused=spec["fused"], fused_scan=spec["fused_scan"],
+        bucket_by_length=spec["bucket_by_length"],
+        with_profiler=False, dtype=dtype)
     lane = floor_spec["dtypes"][dtype]
     floor = lane["floor_steps_per_sec"]
     assert result["steps_per_sec"] >= floor, (

@@ -16,7 +16,8 @@ via ``pytest -m gradcheck``.
 import numpy as np
 import pytest
 
-from repro.nn import ops
+from repro.nn import Tensor, ops
+from repro.nn.dtype import autocast
 from repro.nn.gradcheck import gradcheck
 
 OP_NAMES = sorted(ops.registered_ops())
@@ -77,6 +78,39 @@ def test_gradcheck_smoke(name):
     rng = np.random.default_rng(OP_NAMES.index(name))
     sample = ops.sample_inputs(name, rng)[0]
     gradcheck(sample.build, *sample.arrays)
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32],
+                         ids=["float64", "float32"])
+@pytest.mark.parametrize("name", OP_NAMES)
+def test_dtype_plane_stability(name, dtype):
+    """Every sample of every op, run in both ``REPRO_DTYPE`` planes.
+
+    The gradcheck sweep above forces float64 internally, so on its own
+    the registry only ever exercises float64 — this sweep instead runs
+    each sample's forward *and* backward under the ambient policy and
+    asserts no NEP-50 dtype drift: the output and every input gradient
+    must stay in the policy dtype (numpy scalars and bool intermediates
+    are "strong" under NEP 50 and silently promote to float64 when an
+    op's backward mixes them in carelessly).
+    """
+    rng = np.random.default_rng(500 + OP_NAMES.index(name))
+    with autocast(dtype):
+        for k, sample in enumerate(ops.sample_inputs(name, rng)):
+            tensors = [Tensor(np.asarray(a, dtype=dtype),
+                              requires_grad=True)
+                       for a in sample.arrays]
+            out = sample.build(*tensors)
+            assert out.data.dtype == dtype, (
+                f"op {name!r}, sample {k}: forward drifted to "
+                f"{out.data.dtype}")
+            out.backward()
+            for i, tensor in enumerate(tensors):
+                assert tensor.grad is not None, (
+                    f"op {name!r}, sample {k}: input {i} got no gradient")
+                assert tensor.grad.dtype == dtype, (
+                    f"op {name!r}, sample {k}: grad[{i}] drifted to "
+                    f"{tensor.grad.dtype}")
 
 
 @pytest.mark.gradcheck

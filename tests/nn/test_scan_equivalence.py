@@ -1,0 +1,204 @@
+"""Scan-vs-step equivalence for the sequence-fused recurrent kernels.
+
+:func:`repro.nn.ops.gru_scan` / :func:`repro.nn.ops.lstm_scan` replay an
+entire sequence as one graph node.  They are not bit-identical to the
+step-unrolled paths — the one-big-GEMM input projection reassociates
+float ops — so this suite pins them together by tolerance instead:
+forward values and every gradient (input, initial state, parameters)
+within 1e-10 of the per-step path under float64 and 1e-4 under float32,
+across batch 1, non-contiguous inputs, the T=1 edge case, and ragged
+lengths with frozen-row masking.  Mirrors the PR 2 fused-equivalence
+pattern (tests/nn/test_fused_equivalence.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, ops
+from repro.nn.dtype import autocast
+from repro.nn.gradcheck import gradcheck
+from repro.nn.layers import GRU, LSTM
+from repro.nn.tensor import no_grad
+
+_TOLS = {np.dtype(np.float64): 1e-10, np.dtype(np.float32): 1e-4}
+
+
+@pytest.fixture(autouse=True, params=[np.float64, np.float32],
+                ids=["float64", "float32"])
+def dtype_policy(request):
+    with autocast(request.param):
+        yield np.dtype(request.param)
+
+
+@pytest.fixture
+def TOL(dtype_policy):
+    return _TOLS[dtype_policy]
+
+
+def _max_diff(a, b):
+    return float(np.abs(np.asarray(a) - np.asarray(b)).max())
+
+
+def _run_layer(layer, x, lengths=None):
+    """Forward + backward of sum(out^2); returns (out, grads by name)."""
+    layer.zero_grad()
+    xt = Tensor(x, requires_grad=True)
+    out = layer(xt, lengths=lengths)
+    (out * out).sum().backward()
+    grads = {"x": xt.grad.copy()}
+    grads.update({name: p.grad.copy()
+                  for name, p in layer.named_parameters()})
+    return out.data.copy(), grads
+
+
+def _assert_paths_agree(layer, x, tol, lengths=None):
+    layer.fused_scan = True
+    out_scan, grads_scan = _run_layer(layer, x, lengths)
+    layer.fused_scan = False
+    out_step, grads_step = _run_layer(layer, x, lengths)
+    assert _max_diff(out_scan, out_step) < tol
+    for name in grads_scan:
+        assert _max_diff(grads_scan[name], grads_step[name]) < tol, name
+
+
+class TestGRUScanEquivalence:
+    @pytest.mark.parametrize("batch,steps", [(1, 6), (3, 6), (4, 1)])
+    def test_matches_step_path(self, batch, steps, TOL):
+        rng = np.random.default_rng(batch * 10 + steps)
+        layer = GRU(5, 4, np.random.default_rng(1))
+        x = rng.normal(size=(batch, steps, 5))
+        _assert_paths_agree(layer, x, TOL)
+
+    @pytest.mark.parametrize("return_sequences", [True, False])
+    def test_ragged_lengths(self, return_sequences, TOL):
+        rng = np.random.default_rng(7)
+        layer = GRU(3, 4, np.random.default_rng(2),
+                    return_sequences=return_sequences)
+        x = rng.normal(size=(4, 6, 3))
+        _assert_paths_agree(layer, x, TOL, lengths=np.array([1, 6, 3, 4]))
+
+    def test_non_contiguous_input(self, TOL):
+        rng = np.random.default_rng(3)
+        layer = GRU(5, 4, np.random.default_rng(3))
+        x = rng.normal(size=(2, 12, 5))[:, ::2]     # stride-2 time view
+        assert not x.flags["C_CONTIGUOUS"]
+        _assert_paths_agree(layer, x, TOL)
+
+    def test_batch_one_with_length(self, TOL):
+        rng = np.random.default_rng(4)
+        layer = GRU(3, 2, np.random.default_rng(4))
+        x = rng.normal(size=(1, 5, 3))
+        _assert_paths_agree(layer, x, TOL, lengths=np.array([2]))
+
+    def test_frozen_rows_repeat_final_state(self):
+        rng = np.random.default_rng(5)
+        layer = GRU(3, 4, np.random.default_rng(5))
+        x = rng.normal(size=(2, 6, 3))
+        lengths = np.array([2, 5])
+        out = layer(Tensor(x), lengths=lengths).data
+        for row, length in enumerate(lengths):
+            tail = out[row, length:]
+            np.testing.assert_array_equal(
+                tail, np.broadcast_to(out[row, length - 1], tail.shape))
+
+    def test_padded_timesteps_get_zero_input_grad(self):
+        rng = np.random.default_rng(6)
+        layer = GRU(3, 4, np.random.default_rng(6))
+        x = rng.normal(size=(2, 6, 3))
+        lengths = np.array([2, 6])
+        _, grads = _run_layer(layer, x, lengths)
+        assert np.all(grads["x"][0, 2:] == 0.0)
+        assert np.any(grads["x"][0, :2] != 0.0)
+        assert np.any(grads["x"][1, 5:] != 0.0)
+
+    def test_no_grad_path_matches_grad_path(self):
+        """The lean inference forward (no cached stacks) computes the
+        same floats as the training forward."""
+        rng = np.random.default_rng(8)
+        layer = GRU(3, 4, np.random.default_rng(8))
+        x = rng.normal(size=(2, 5, 3))
+        with no_grad():
+            lean = layer(Tensor(x)).data.copy()
+        full = layer(Tensor(x, requires_grad=True)).data
+        np.testing.assert_array_equal(lean, full)
+
+    def test_zero_length_row_keeps_initial_state(self):
+        rng = np.random.default_rng(9)
+        layer = GRU(3, 4, np.random.default_rng(9),
+                    return_sequences=False)
+        x = rng.normal(size=(2, 4, 3))
+        out = layer(Tensor(x), lengths=np.array([0, 4])).data
+        np.testing.assert_array_equal(out[0], np.zeros(4))
+        assert np.any(out[1] != 0.0)
+
+
+class TestLSTMScanEquivalence:
+    @pytest.mark.parametrize("batch,steps", [(1, 6), (3, 6), (4, 1)])
+    def test_matches_step_path(self, batch, steps, TOL):
+        rng = np.random.default_rng(batch * 10 + steps + 50)
+        layer = LSTM(5, 4, np.random.default_rng(1))
+        x = rng.normal(size=(batch, steps, 5))
+        _assert_paths_agree(layer, x, TOL)
+
+    @pytest.mark.parametrize("return_sequences", [True, False])
+    def test_ragged_lengths(self, return_sequences, TOL):
+        rng = np.random.default_rng(17)
+        layer = LSTM(3, 4, np.random.default_rng(2),
+                     return_sequences=return_sequences)
+        x = rng.normal(size=(4, 6, 3))
+        _assert_paths_agree(layer, x, TOL, lengths=np.array([3, 6, 1, 5]))
+
+    def test_non_contiguous_input(self, TOL):
+        rng = np.random.default_rng(13)
+        layer = LSTM(5, 4, np.random.default_rng(3))
+        x = rng.normal(size=(2, 12, 5))[:, ::2]
+        assert not x.flags["C_CONTIGUOUS"]
+        _assert_paths_agree(layer, x, TOL)
+
+
+class TestScanOpValidation:
+    def test_gru_scan_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="gru_scan expects"):
+            ops.gru_scan(np.zeros((2, 5)), np.zeros((2, 4)),
+                         np.zeros((5, 12)), np.zeros((4, 12)),
+                         np.zeros(12), np.zeros(12))
+
+    def test_gru_scan_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError, match="gru_scan shapes"):
+            ops.gru_scan(np.zeros((2, 3, 5)), np.zeros((2, 4)),
+                         np.zeros((5, 9)), np.zeros((4, 12)),
+                         np.zeros(12), np.zeros(12))
+
+    def test_lstm_scan_rejects_mismatched_state(self):
+        with pytest.raises(ValueError, match="lstm_scan shapes"):
+            ops.lstm_scan(np.zeros((2, 3, 5)), np.zeros((2, 4)),
+                          np.zeros((3, 4)), np.zeros((5, 16)),
+                          np.zeros((4, 16)), np.zeros(16))
+
+    @pytest.mark.parametrize("bad", [np.array([1, 2, 3]),   # wrong shape
+                                     np.array([1, 7]),      # > steps
+                                     np.array([-1, 2])])    # negative
+    def test_rejects_bad_lengths(self, bad):
+        with pytest.raises(ValueError, match="lengths"):
+            ops.gru_scan(np.zeros((2, 5, 3)), np.zeros((2, 4)),
+                         np.zeros((3, 12)), np.zeros((4, 12)),
+                         np.zeros(12), np.zeros(12), lengths=bad)
+
+
+class TestScanRegistryCoverage:
+    """Satellite: the scan ops are first-class registry citizens, so the
+    registry-driven gradcheck sweep covers them automatically (and the
+    gradcheck itself forces float64 per the PR 5 contract even when
+    entered from the float32 lane)."""
+
+    @pytest.mark.parametrize("name", ["gru_scan", "lstm_scan"])
+    def test_registered_with_sample_factory(self, name):
+        registry = ops.registered_ops()
+        assert name in registry
+        assert registry[name].sample_factory is not None
+        samples = ops.sample_inputs(name, np.random.default_rng(0))
+        # Ragged-length and final-state-only scenarios must be in the
+        # sweep, not just the dense default.
+        assert len(samples) >= 2, f"{name} needs masked scan scenarios"
+        for sample in samples:
+            gradcheck(sample.build, *sample.arrays)
