@@ -15,16 +15,30 @@ hook import one-way.
 
 from __future__ import annotations
 
+import resource
+from time import perf_counter
+
 import numpy as np
 
 from ..baselines import build_model
-from ..data import NUM_FEATURES, SyntheticEMRGenerator, train_val_test_split
+from ..data import (NUM_FEATURES, ShardedDataset, SyntheticEMRGenerator,
+                    train_val_test_split)
 from ..nn.layers import GRUCell
 from ..train import Trainer
 from .profiler import profile
 
-__all__ = ["benchmark_cohort", "benchmark_training", "set_fused",
+__all__ = ["benchmark_cohort", "benchmark_training",
+           "benchmark_sharded_training", "max_rss_bytes", "set_fused",
            "set_fused_scan"]
+
+
+def max_rss_bytes():
+    """Peak resident set size of this process so far, in bytes.
+
+    ``ru_maxrss`` is reported in kilobytes on Linux; it is a
+    process-lifetime high-water mark, so memory-ceiling measurements
+    must run in a fresh subprocess (see docs/DATA.md)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
 def set_fused(model, fused):
@@ -140,18 +154,107 @@ def benchmark_training(model_name="GRU", task="mortality", epochs=2,
     if profiler is not None:
         # Per-step byte accounting: total op-output allocations (forward)
         # plus backward gradient traffic, normalized by optimizer steps.
-        batches_per_epoch = -(-len(splits.train) // batch_size)
-        num_steps = max(1, history.num_epochs * batches_per_epoch)
-        total_bytes = sum(s.forward_bytes + s.backward_bytes
-                          for s in profiler.stats.values())
-        config["profiled_steps"] = int(num_steps)
-        config["allocated_bytes_per_step"] = int(total_bytes // num_steps)
-        config["peak_grad_bytes"] = int(profiler.peak_grad_bytes)
+        _attach_byte_accounting(config, profiler, history,
+                                len(splits.train), batch_size)
     return {
         "steps_per_sec": (1.0 / seconds_per_batch
                           if seconds_per_batch > 0 else float("inf")),
         "seconds_per_batch": seconds_per_batch,
         "profiler": profiler,
+        "history": history,
+        "model": model,
+        "config": config,
+    }
+
+
+def _attach_byte_accounting(config, profiler, history, train_size,
+                            batch_size):
+    batches_per_epoch = -(-train_size // batch_size)
+    num_steps = max(1, history.num_epochs * batches_per_epoch)
+    total_bytes = sum(s.forward_bytes + s.backward_bytes
+                      for s in profiler.stats.values())
+    config["profiled_steps"] = int(num_steps)
+    config["allocated_bytes_per_step"] = int(total_bytes // num_steps)
+    config["peak_grad_bytes"] = int(profiler.peak_grad_bytes)
+
+
+def benchmark_sharded_training(shards_dir, model_name="GRU",
+                               task="mortality", epochs=1, batch_size=32,
+                               seed=0, val_shards=1, bucket_by_length=True,
+                               fused=True, fused_scan=True, dtype=None,
+                               run_dir=None):
+    """Train one model out-of-core from a sharded store and measure
+    throughput *and* peak memory.
+
+    The store at ``shards_dir`` (from :func:`repro.data.generate_shards`
+    / ``repro shard``) is opened lazily, split into train/validation
+    shard views, and streamed through the :class:`ShardedDataLoader` by
+    the ordinary :class:`~repro.train.Trainer` — batches never
+    materialize more than O(batch + prefetch·batch) admissions.  The
+    headline numbers are ``steps_per_sec`` and ``max_rss_bytes`` (the
+    process peak RSS after training), which is what BENCH_7.json's
+    memory-ceiling claim records; run this in a fresh subprocess when
+    the ceiling matters, since ``ru_maxrss`` never decreases.
+
+    Returns the same shape as :func:`benchmark_training` (without a
+    profiler) plus ``max_rss_bytes``, ``open_seconds``, and
+    ``fit_seconds`` in the result and store metadata in ``config``.
+    """
+    from ..nn.dtype import autocast, get_default_dtype, resolve_dtype
+
+    resolved = resolve_dtype(dtype) if dtype is not None else get_default_dtype()
+    with autocast(resolved):
+        opened = perf_counter()
+        store = ShardedDataset.open(shards_dir)
+        train, validation = store.split(val_shards=val_shards)
+        open_seconds = perf_counter() - opened
+
+        model = build_model(model_name, store.num_features,
+                            np.random.default_rng(seed))
+        flipped = set_fused(model, fused)
+        scan_layers = set_fused_scan(model, fused_scan)
+        if bucket_by_length and hasattr(model, "mask_aware"):
+            model.mask_aware = True
+        trainer = Trainer(model, task, batch_size=batch_size,
+                          max_epochs=epochs, patience=epochs + 1, seed=seed,
+                          bucket_by_length=bucket_by_length,
+                          run_dir=run_dir)
+        started = perf_counter()
+        history = trainer.fit(train, validation)
+        fit_seconds = perf_counter() - started
+
+    seconds_per_batch = history.seconds_per_batch
+    config = {
+        "model": model_name,
+        "task": task,
+        "epochs": epochs,
+        "shards_dir": str(shards_dir),
+        "cohort": store.manifest["cohort"],
+        "num_admissions": len(store),
+        "train_admissions": len(train),
+        "val_admissions": len(validation),
+        "num_shards": store.num_shards,
+        "shard_size": store.manifest["shard_size"],
+        "val_shards": int(val_shards),
+        "batch_size": batch_size,
+        "seed": seed,
+        "fused": bool(fused),
+        "fused_scan": bool(fused_scan),
+        "bucket_by_length": bool(bucket_by_length),
+        "mask_aware": bool(getattr(model, "mask_aware", False)),
+        "dtype": np.dtype(resolved).name,
+        "gru_cells": flipped,
+        "scan_layers": scan_layers,
+        "num_parameters": model.num_parameters(),
+    }
+    return {
+        "steps_per_sec": (1.0 / seconds_per_batch
+                          if seconds_per_batch > 0 else float("inf")),
+        "seconds_per_batch": seconds_per_batch,
+        "open_seconds": open_seconds,
+        "fit_seconds": fit_seconds,
+        "max_rss_bytes": max_rss_bytes(),
+        "profiler": None,
         "history": history,
         "model": model,
         "config": config,

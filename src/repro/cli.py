@@ -3,12 +3,19 @@
 Subcommands
 -----------
 ``stats``
-    Print Table-I-style statistics for a cohort.
+    Print Table-I-style statistics for a cohort, or (``--shards DIR``)
+    for a sharded store from its manifest metadata alone.
+``shard``
+    Generate a deterministic sharded cohort store (manifest.json +
+    per-shard ``.npy`` arrays) for out-of-core training; see
+    docs/DATA.md for the layout and determinism contract.
 ``train``
     Train a model on a cohort/task, print test metrics, optionally save
     the weights.  ``--run-dir`` makes the run durable (config.json,
     metrics.jsonl, checkpoints/) and ``--resume`` continues an
-    interrupted run from its last checkpoint.
+    interrupted run from its last checkpoint.  ``--shards DIR`` streams
+    batches out-of-core from a sharded store instead of materializing a
+    cohort in memory.
 ``compare``
     Train several models on one (cohort, task) cell and print the
     Figure-6-style metrics table.
@@ -18,7 +25,9 @@ Subcommands
 ``bench``
     Profile a training run with the per-op profiler (repro.bench), print
     the sorted forward/backward timing table, and write a
-    ``BENCH_*.json`` report (see docs/PERFORMANCE.md).
+    ``BENCH_*.json`` report (see docs/PERFORMANCE.md).  ``--shards DIR``
+    instead benchmarks out-of-core training (throughput + peak RSS,
+    profiler off).
 ``predict``
     Load a trained run directory (``--run-dir`` from ``train``) into a
     ``repro.serve.Predictor`` and print per-admission probabilities for
@@ -60,11 +69,39 @@ def build_parser():
     stats = commands.add_parser("stats", help="print dataset statistics")
     stats.add_argument("--cohort", default="physionet2012",
                        choices=("physionet2012", "mimic3"))
+    stats.add_argument("--shards", default=None, metavar="DIR",
+                       help="print statistics for a sharded store "
+                       "(manifest metadata only, no array loads)")
+
+    shard = commands.add_parser(
+        "shard", help="generate a deterministic sharded cohort store")
+    shard.add_argument("--out", required=True, metavar="DIR",
+                       help="destination store directory (must not "
+                       "already hold a manifest.json)")
+    shard.add_argument("--cohort", default="physionet2012",
+                       choices=("physionet2012", "mimic3"))
+    shard.add_argument("--admissions", type=int, required=True,
+                       help="total cohort size")
+    shard.add_argument("--shard-size", type=int, default=4096,
+                       help="admissions per shard (last may be short)")
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--workers", type=int, default=1,
+                       help="generation worker processes (any count "
+                       "yields byte-identical shards)")
+    shard.add_argument("--dtype", default="float32",
+                       choices=("float32", "float64"),
+                       help="on-disk dtype of the raw value arrays")
 
     train = commands.add_parser("train", help="train one model")
     train.add_argument("--model", default="ELDA-Net")
     train.add_argument("--cohort", default="physionet2012",
                        choices=("physionet2012", "mimic3"))
+    train.add_argument("--shards", default=None, metavar="DIR",
+                       help="train out-of-core from a sharded store "
+                       "(overrides --cohort; see `repro shard`)")
+    train.add_argument("--val-shards", type=int, default=1, metavar="K",
+                       help="with --shards, hold out the last K shards "
+                       "as the validation split")
     train.add_argument("--task", default="mortality",
                        choices=("mortality", "los"))
     train.add_argument("--epochs", type=int, default=None,
@@ -104,6 +141,12 @@ def build_parser():
     bench.add_argument("--admissions", type=int, default=64)
     bench.add_argument("--batch-size", type=int, default=32)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--shards", default=None, metavar="DIR",
+                       help="benchmark out-of-core training from a "
+                       "sharded store (throughput + peak RSS; no "
+                       "per-op profiler)")
+    bench.add_argument("--val-shards", type=int, default=1, metavar="K",
+                       help="with --shards, validation shards to hold out")
     bench.add_argument("--unfused", action="store_true",
                        help="run the unfused reference GRU kernels "
                        "(baseline for before/after comparisons)")
@@ -178,16 +221,53 @@ def _config(args):
     return config
 
 
+def _print_statistics(out, title, statistics):
+    out.write(f"[{title}]\n")
+    for key, value in statistics.items():
+        formatted = f"{value:.4f}" if isinstance(value, float) else value
+        out.write(f"  {key:<28} {formatted}\n")
+
+
 def _cmd_stats(args, out):
     from .data import load_cohort
+    if args.shards:
+        from .data import ShardedDataset
+        store = ShardedDataset.open(args.shards)
+        _print_statistics(out, f"shards {args.shards} "
+                          f"({store.num_shards} shards)",
+                          store.statistics())
+        return 0
     splits = load_cohort(args.cohort, scale=args.scale)
     for split_name, dataset in (("train", splits.train),
                                 ("validation", splits.validation),
                                 ("test", splits.test)):
-        out.write(f"[{args.cohort} / {split_name}]\n")
-        for key, value in dataset.statistics().items():
-            formatted = f"{value:.4f}" if isinstance(value, float) else value
-            out.write(f"  {key:<28} {formatted}\n")
+        _print_statistics(out, f"{args.cohort} / {split_name}",
+                          dataset.statistics())
+    return 0
+
+
+def _cmd_shard(args, out):
+    from time import perf_counter
+
+    from .data import generate_shards
+
+    started = perf_counter()
+    store = generate_shards(args.out, args.admissions, cohort=args.cohort,
+                            shard_size=args.shard_size, seed=args.seed,
+                            num_workers=args.workers, dtype=args.dtype)
+    elapsed = perf_counter() - started
+    total_bytes = sum(meta["bytes"] for entry in store.entries
+                      for meta in entry["files"].values())
+    out.write(f"sharded {args.cohort} cohort written to {args.out}\n")
+    out.write(f"  admissions    : {len(store)}\n")
+    out.write(f"  shards        : {store.num_shards} "
+              f"(shard size {args.shard_size})\n")
+    out.write(f"  dtype         : {args.dtype}\n")
+    out.write(f"  seed          : {args.seed}\n")
+    out.write(f"  bytes on disk : {total_bytes}\n")
+    out.write(f"  generation    : {elapsed:.1f} s "
+              f"({1e3 * elapsed / max(1, len(store)):.3f} ms/admission, "
+              f"{args.workers} worker(s))\n")
     return 0
 
 
@@ -200,9 +280,26 @@ def _cmd_train(args, out):
     if args.resume and not args.run_dir:
         raise SystemExit("--resume requires --run-dir")
     config = _config(args)
-    splits = load_cohort(args.cohort, scale=args.scale,
-                         fractions=config.fractions)
-    model = build_model(args.model, NUM_FEATURES,
+    if args.shards:
+        # Out-of-core path: train/validation are shard views streamed by
+        # the ShardedDataLoader; the held-out validation view doubles as
+        # the reported test split (a sharded store has no 80/10/10).
+        from .data import ShardedDataset
+        store = ShardedDataset.open(args.shards)
+        train_data, val_data = store.split(val_shards=args.val_shards)
+        test_data = val_data
+        standardizer = train_data.standardizer
+        num_features = store.num_features
+        source = f"shards:{args.shards}"
+    else:
+        splits = load_cohort(args.cohort, scale=args.scale,
+                             fractions=config.fractions)
+        train_data, val_data = splits.train, splits.validation
+        test_data = splits.test
+        standardizer = splits.standardizer
+        num_features = NUM_FEATURES
+        source = args.cohort
+    model = build_model(args.model, num_features,
                         np.random.default_rng(args.seed))
     run_kwargs = {}
     if args.run_dir:
@@ -211,11 +308,11 @@ def _cmd_train(args, out):
     trainer = Trainer(model, args.task, anomaly_mode=args.debug_anomaly,
                       **run_kwargs, **config.trainer_kwargs(args.seed))
     if args.resume:
-        history = trainer.fit(splits.train, splits.validation, resume=True)
+        history = trainer.fit(train_data, val_data, resume=True)
     else:
-        history = trainer.fit(splits.train, splits.validation)
-    metrics = trainer.evaluate(splits.test)
-    out.write(f"{args.model} on {args.cohort}/{args.task}: "
+        history = trainer.fit(train_data, val_data)
+    metrics = trainer.evaluate(test_data)
+    out.write(f"{args.model} on {source}/{args.task}: "
               f"{history.num_epochs} epochs "
               f"(best {history.best_epoch})\n")
     if args.run_dir:
@@ -223,7 +320,7 @@ def _cmd_train(args, out):
         # checkpoints so `repro serve` can score raw admissions through
         # the exact training pipeline (repro.serve.PreprocessCache).
         from pathlib import Path
-        splits.standardizer.save(Path(args.run_dir) / "standardizer.npz")
+        standardizer.save(Path(args.run_dir) / "standardizer.npz")
         out.write(f"  run dir : {args.run_dir}\n")
     out.write(f"  params  : {model.num_parameters()}\n")
     out.write(f"  BCE     : {metrics['bce']:.4f}\n")
@@ -275,6 +372,8 @@ def _cmd_interpret(args, out):
 def _cmd_bench(args, out):
     from .bench.runner import benchmark_training
 
+    if args.shards:
+        return _cmd_bench_shards(args, out)
     result = benchmark_training(
         model_name=args.model, task=args.task, epochs=args.epochs,
         num_admissions=args.admissions, batch_size=args.batch_size,
@@ -301,6 +400,60 @@ def _cmd_bench(args, out):
         extra["seconds_per_batch"] = result["seconds_per_batch"]
         path = profiler.save(directory=args.out, extra=extra)
         out.write(f"\nreport written to {path}\n")
+    return 0
+
+
+def _cmd_bench_shards(args, out):
+    """``repro bench --shards DIR``: out-of-core throughput + peak RSS.
+
+    The per-op profiler stays off here — its bookkeeping would inflate
+    both timings and the resident-set high-water mark that the sharded
+    benchmark exists to measure.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from .bench.report import _slug
+    from .bench.runner import benchmark_sharded_training
+
+    result = benchmark_sharded_training(
+        shards_dir=args.shards, model_name=args.model, task=args.task,
+        epochs=args.epochs, batch_size=args.batch_size, seed=args.seed,
+        val_shards=args.val_shards, bucket_by_length=args.bucket,
+        fused=not args.unfused, fused_scan=not args.no_scan,
+        dtype=args.dtype)
+    config = result["config"]
+    out.write(f"{args.model} on {args.shards}/{args.task}: "
+              f"{config['epochs']} epoch(s), batch {config['batch_size']} "
+              f"({'bucketed' if args.bucket else 'padded'}), "
+              f"{config['dtype']}, streaming\n")
+    out.write(f"  admissions    : {config['num_admissions']} "
+              f"({config['num_shards']} shards, "
+              f"{config['val_shards']} held out)\n")
+    out.write(f"  params        : {config['num_parameters']}\n")
+    out.write(f"  open          : {result['open_seconds']:.2f} s\n")
+    out.write(f"  fit           : {result['fit_seconds']:.1f} s\n")
+    out.write(f"  sec/batch     : {result['seconds_per_batch']:.4f}\n")
+    out.write(f"  steps/sec     : {result['steps_per_sec']:.2f}\n")
+    out.write(f"  peak RSS      : {result['max_rss_bytes'] / 2**20:.1f} "
+              "MiB\n")
+    if not args.no_json:
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        payload = dict(config)
+        payload.update(
+            steps_per_sec=result["steps_per_sec"],
+            seconds_per_batch=result["seconds_per_batch"],
+            open_seconds=result["open_seconds"],
+            fit_seconds=result["fit_seconds"],
+            max_rss_bytes=result["max_rss_bytes"],
+            created=stamp,
+        )
+        directory = Path(args.out)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_shards-{_slug(args.model)}_{stamp}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        out.write(f"report written to {path}\n")
     return 0
 
 
@@ -424,6 +577,7 @@ def _cmd_serve(args, out):
 
 _COMMANDS = {
     "stats": _cmd_stats,
+    "shard": _cmd_shard,
     "train": _cmd_train,
     "compare": _cmd_compare,
     "interpret": _cmd_interpret,

@@ -15,9 +15,11 @@ from .dataset import (DatasetSplits, EMRDataset, build_dataset,
 from .missingness import ObservationModel
 from .preprocess import (Standardizer, clean_values, impute,
                          observation_deltas)
-from .serialization import load_dataset, save_dataset
+from .serialization import dataset_metadata, load_dataset, save_dataset
 from .schema import (FEATURE_NAMES, FEATURES, NUM_FEATURES, NUM_TIME_STEPS,
                      FeatureSpec, feature_index)
+from .shards import (ShardedDataLoader, ShardedDataset, ShardIntegrityError,
+                     generate_shards, plan_shards, regenerate_shard)
 from .synthetic import Admission, SyntheticEMRGenerator, make_patient_a
 from .trajectory import SeverityTrajectory, sample_trajectory
 
@@ -33,5 +35,7 @@ __all__ = [
     "iterate_batches", "BucketSampler", "sequence_lengths",
     "CohortProfile", "PHYSIONET2012", "MIMIC_III", "PROFILES", "load_cohort",
     "scale_factor",
-    "save_dataset", "load_dataset",
+    "save_dataset", "load_dataset", "dataset_metadata",
+    "ShardedDataset", "ShardedDataLoader", "ShardIntegrityError",
+    "generate_shards", "regenerate_shard", "plan_shards",
 ]

@@ -216,7 +216,20 @@ def iterate_batches(dataset, task, batch_size, rng=None,
     the padded tail; every admission still appears exactly once per
     epoch, and the rng is consumed in a fixed order so determinism under
     the seed contract is preserved.
+
+    ``dataset`` may also be a :class:`repro.data.shards.ShardedDataset`:
+    batches then stream out-of-core through a
+    :class:`~repro.data.shards.ShardedDataLoader` (background prefetch,
+    O(batch) resident memory).  The streamed epoch consumes the ``rng``
+    identically and yields bit-identical batches in the same order as
+    this function would over the materialized cohort, so sharded
+    training obeys the same seed contract (see docs/DATA.md).
     """
+    from .shards import ShardedDataset
+    if isinstance(dataset, ShardedDataset):
+        yield from dataset.iter_batches(task, batch_size, rng=rng,
+                                        bucket_by_length=bucket_by_length)
+        return
     labels = dataset.labels(task)
     if bucket_by_length:
         sampler = BucketSampler(dataset.lengths(), batch_size)

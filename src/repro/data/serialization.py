@@ -2,15 +2,25 @@
 
 Sampling a paper-scale cohort takes minutes; saving the model-ready
 arrays lets experiment runs and notebooks reuse one materialized cohort.
+
+:func:`load_dataset` materializes every array eagerly — that is its
+job.  Callers that only need schema- or size-level information (how
+many admissions, how many timesteps, which dtypes) should use
+:func:`dataset_metadata`, which parses the ``.npy`` headers inside the
+archive without decompressing or allocating any array payload; the
+sharded data plane (:mod:`repro.data.shards`) takes the same idea
+further with a manifest that is never backed by array reads at all.
 """
 
 from __future__ import annotations
+
+import zipfile
 
 import numpy as np
 
 from .dataset import EMRDataset
 
-__all__ = ["save_dataset", "load_dataset"]
+__all__ = ["save_dataset", "load_dataset", "dataset_metadata"]
 
 
 def save_dataset(dataset, path):
@@ -30,6 +40,46 @@ def save_dataset(dataset, path):
         onset_hours=onset,
         feature_names=np.array(dataset.feature_names, dtype="U32"),
     )
+
+
+def dataset_metadata(path):
+    """Shapes and dtypes of a saved dataset, without loading arrays.
+
+    Reads only each archive member's ``.npy`` header (about a hundred
+    bytes per array) straight through the zip stream — the array
+    payloads are never decompressed, so inspecting a multi-gigabyte
+    cohort file is effectively free.
+
+    Returns a dict with ``"arrays"`` (name -> ``{"shape", "dtype"}``),
+    plus the derived ``"admissions"``, ``"num_time_steps"``, and
+    ``"num_features"`` of the ``values`` array.
+    """
+    arrays = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            name = info.filename
+            if not name.endswith(".npy"):
+                continue
+            with archive.open(name) as member:
+                version = np.lib.format.read_magic(member)
+                if version == (1, 0):
+                    shape, _, dtype = \
+                        np.lib.format.read_array_header_1_0(member)
+                else:
+                    shape, _, dtype = \
+                        np.lib.format.read_array_header_2_0(member)
+            arrays[name[:-len(".npy")]] = {"shape": tuple(shape),
+                                           "dtype": dtype.name}
+    if "values" not in arrays:
+        raise ValueError(f"{path} is not a saved EMRDataset "
+                         "(no 'values' array)")
+    shape = arrays["values"]["shape"]
+    return {
+        "arrays": arrays,
+        "admissions": shape[0],
+        "num_time_steps": shape[1],
+        "num_features": shape[2],
+    }
 
 
 def load_dataset(path):

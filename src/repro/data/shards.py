@@ -1,0 +1,964 @@
+"""Sharded cohort store: deterministic generation, manifest, streaming loader.
+
+The simulator in :mod:`repro.data.synthetic` materializes whole cohorts
+in memory, which caps training at what fits in RAM.  This module is the
+million-admission data plane: cohorts are generated as fixed-size
+*shards* on disk and trained on out-of-core.
+
+Determinism contract
+--------------------
+Every shard is generated from its own RNG stream seeded by
+``(seed, shard_id)`` (a :class:`numpy.random.SeedSequence` over the
+pair), so *the same seed and shard grid always yield byte-identical
+shard files* — regardless of how many workers generated them, or in
+which order.  The standardizer is derived from per-shard moment
+statistics reduced in ascending ``shard_id`` order, never from
+worker-completion order, so ``manifest.json`` is byte-identical across
+worker counts too.  ``regenerate_shard`` rebuilds any single shard from
+the manifest alone and verifies it reproduces the recorded checksums.
+
+On-disk layout
+--------------
+::
+
+    store/
+      manifest.json        # config, shard table, moments, checksums
+      standardizer.npz     # all-shard mean/std (serving convenience)
+      shard_00000/
+        raw.npy            # (count, T, C) cleaned values, NaN = missing
+        labels.npy         # (count, 2) int8: mortality, long_stay
+        annot.npy          # (count, 2) int16: archetype id, onset hour
+        lengths.npy        # (count,) int16 true sequence lengths
+      shard_00001/
+        ...
+
+``raw.npy`` stores *cleaned, unstandardized* values: standardization,
+imputation, and GRU-D deltas are recomputed per batch at load time with
+the exact :mod:`repro.data.preprocess` functions, which keeps the store
+a third the size of model-ready arrays and keeps every derived quantity
+bit-identical to the in-memory pipeline.
+
+Streaming
+---------
+:class:`ShardedDataLoader` computes each epoch's batch plan from lazy
+metadata only (admission counts and per-shard ``lengths.npy``), using
+the *same* RNG calls as the in-memory :func:`repro.data.iterate_batches`
+— a streamed epoch therefore visits byte-identical batches in the same
+order as an in-memory epoch over :meth:`ShardedDataset.materialize`
+under the same seed (``tests/train/test_sharded_equivalence.py`` pins
+this at the bit level).  Rows are gathered by direct ``seek``/``read``
+on the shard files (no memmaps, so the resident set stays O(batch), not
+O(page cache)), preprocessed, and handed over via a background prefetch
+thread with a bounded queue.  Shard checksums are verified on first
+touch; a corrupted or truncated shard raises
+:class:`ShardIntegrityError` naming the shard instead of hanging, and
+abandoning an epoch mid-way shuts the prefetch thread down cleanly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from .archetypes import ARCHETYPES
+from .batching import BucketSampler, sequence_lengths
+from .dataset import EMRDataset
+from .preprocess import Standardizer, clean_values, impute, observation_deltas
+from .schema import FEATURE_NAMES, FEATURES, NUM_TIME_STEPS
+from .synthetic import SyntheticEMRGenerator
+
+__all__ = ["ShardIntegrityError", "ShardedDataset", "ShardedDataLoader",
+           "generate_shards", "regenerate_shard", "plan_shards"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 1
+
+#: File name -> (dtype, trailing shape) of each per-shard array.  The
+#: leading axis is always the shard's admission count.
+_SHARD_FILES = ("raw.npy", "labels.npy", "annot.npy", "lengths.npy")
+
+_HASH_CHUNK = 1 << 20
+
+
+class ShardIntegrityError(RuntimeError):
+    """A shard's on-disk bytes do not match its manifest entry.
+
+    Raised with the offending shard's name in the message, both by
+    :meth:`ShardedDataset.open` (missing files, size mismatches) and by
+    the streaming loader's checksum verification (corrupted contents).
+    """
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+def plan_shards(num_admissions, shard_size):
+    """The shard grid: ``[(shard_id, count), ...]`` covering the cohort.
+
+    Every shard holds ``shard_size`` admissions except possibly the last.
+    The grid depends only on the two arguments, so it is part of the
+    determinism key alongside the seed.
+    """
+    num_admissions = int(num_admissions)
+    shard_size = int(shard_size)
+    if num_admissions <= 0:
+        raise ValueError(f"num_admissions must be positive, "
+                         f"got {num_admissions}")
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    counts = []
+    remaining = num_admissions
+    shard_id = 0
+    while remaining > 0:
+        count = min(shard_size, remaining)
+        counts.append((shard_id, count))
+        remaining -= count
+        shard_id += 1
+    return counts
+
+
+def _shard_dirname(shard_id):
+    return f"shard_{shard_id:05d}"
+
+
+def _shard_arrays(generator_kwargs, seed, shard_id, count, dtype):
+    """Deterministically generate one shard's arrays.
+
+    The RNG stream is keyed by ``(seed, shard_id)`` so any worker can
+    produce any shard, in any order, with identical bytes.  Returns the
+    array dict plus the shard's moment statistics and length histogram.
+    """
+    generator = SyntheticEMRGenerator(**generator_kwargs)
+    rng = np.random.default_rng([int(seed), int(shard_id)])
+    admissions = generator.sample_many(int(count), rng)
+
+    raw = np.stack([adm.values for adm in admissions])
+    raw = clean_values(raw).astype(dtype)
+    mask = ~np.isnan(raw)
+    lengths = sequence_lengths(mask).astype(np.int16)
+
+    labels = np.stack([
+        np.array([adm.mortality for adm in admissions], dtype=np.int8),
+        np.array([adm.long_stay for adm in admissions], dtype=np.int8),
+    ], axis=1)
+    archetype_ids = {a.name: i for i, a in enumerate(ARCHETYPES)}
+    annot = np.stack([
+        np.array([archetype_ids[adm.archetype] for adm in admissions],
+                 dtype=np.int16),
+        np.array([-1 if adm.onset_hour is None else adm.onset_hour
+                  for adm in admissions], dtype=np.int16),
+    ], axis=1)
+
+    # Per-shard moment statistics over *observed* cells, accumulated in
+    # float64.  np.nansum uses pairwise summation, which is deterministic
+    # for a fixed array, and combining per-shard moments in shard_id
+    # order (see _standardizer_from_entries) is deterministic across
+    # worker counts.
+    flat = raw.astype(np.float64).reshape(-1, raw.shape[-1])
+    moments = {
+        "count": mask.reshape(-1, raw.shape[-1]).sum(axis=0),
+        "sum": np.nansum(flat, axis=0),
+        "sumsq": np.nansum(flat * flat, axis=0),
+    }
+    histogram = np.bincount(lengths, minlength=raw.shape[1] + 1)
+    arrays = {"raw.npy": raw, "labels.npy": labels, "annot.npy": annot,
+              "lengths.npy": lengths}
+    return arrays, moments, histogram
+
+
+def _sha256(path):
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_HASH_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _write_shard(root, generator_kwargs, seed, shard_id, count, dtype):
+    """Generate and write one shard; returns its manifest entry."""
+    arrays, moments, histogram = _shard_arrays(generator_kwargs, seed,
+                                               shard_id, count, dtype)
+    shard_dir = Path(root) / _shard_dirname(shard_id)
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    files = {}
+    for name, array in arrays.items():
+        path = shard_dir / name
+        np.save(path, array)
+        files[name] = {"sha256": _sha256(path),
+                       "bytes": path.stat().st_size}
+    return {
+        "shard_id": int(shard_id),
+        "path": _shard_dirname(shard_id),
+        "count": int(count),
+        "length_histogram": [int(n) for n in histogram],
+        "moments": {key: [float(v) for v in values]
+                    for key, values in moments.items()},
+        "files": files,
+    }
+
+
+def _write_shard_star(args):
+    return _write_shard(*args)
+
+
+def _standardizer_from_entries(entries):
+    """Combine per-shard moments (ascending shard_id) into a fitted
+    :class:`~repro.data.preprocess.Standardizer`.
+
+    Sequential reduction in shard order keeps the result independent of
+    which worker generated which shard.  Features never observed in any
+    shard fall back to the schema's healthy statistics, and near-zero
+    spreads are clamped to 1.0 — the same guards as ``Standardizer.fit``.
+    """
+    entries = sorted(entries, key=lambda e: e["shard_id"])
+    count = np.zeros(len(FEATURES))
+    total = np.zeros(len(FEATURES))
+    sumsq = np.zeros(len(FEATURES))
+    for entry in entries:
+        count = count + np.asarray(entry["moments"]["count"], dtype=np.float64)
+        total = total + np.asarray(entry["moments"]["sum"], dtype=np.float64)
+        sumsq = sumsq + np.asarray(entry["moments"]["sumsq"],
+                                   dtype=np.float64)
+    schema_mean = np.array([spec.mean for spec in FEATURES])
+    schema_std = np.array([spec.std for spec in FEATURES])
+    observed = count > 0
+    safe = np.where(observed, count, 1.0)
+    mean = np.where(observed, total / safe, schema_mean)
+    var = np.maximum(sumsq / safe - (total / safe) ** 2, 0.0)
+    std = np.where(observed, np.sqrt(var), schema_std)
+    std = np.where(std < 1e-8, 1.0, std)
+    standardizer = Standardizer()
+    standardizer.mean = mean
+    standardizer.std = std
+    return standardizer
+
+
+#: Generator knobs recorded in the manifest so shards can be regenerated
+#: from it alone (``regenerate_shard``), without the profile registry.
+_GENERATOR_KEYS = ("steps", "severity_gain", "rate_scale", "label_noise",
+                   "initial_scale", "mortality_offset")
+
+
+def _generator_kwargs(profile):
+    generator = profile.generator()
+    return {
+        "steps": generator.steps,
+        "severity_gain": generator.observation_model.severity_gain,
+        "rate_scale": generator.observation_model.rate_scale,
+        "label_noise": generator.label_noise,
+        "initial_scale": generator.initial_scale,
+        "mortality_offset": generator.mortality_offset,
+    }
+
+
+def generate_shards(out_dir, num_admissions, cohort="physionet2012",
+                    shard_size=4096, seed=None, num_workers=1,
+                    dtype="float32", submit_order=None):
+    """Generate a sharded cohort store under ``out_dir``.
+
+    Parameters
+    ----------
+    out_dir:
+        Destination directory (created; must not already hold a manifest).
+    num_admissions:
+        Total cohort size; the last shard may be short.
+    cohort:
+        Profile name (``"physionet2012"`` / ``"mimic3"``) fixing the
+        simulator configuration.
+    shard_size:
+        Admissions per shard.  Part of the determinism key: the same
+        ``(cohort, seed, num_admissions, shard_size, dtype)`` always
+        produces byte-identical shards and manifest.
+    seed:
+        Cohort seed (defaults to the profile's).  Each shard derives its
+        own independent RNG stream from ``(seed, shard_id)``.
+    num_workers:
+        Process count for generation.  Purely a throughput knob — the
+        output is byte-identical for any worker count or scheduling
+        order (``tests/data/test_shards_properties.py``).
+    dtype:
+        Storage dtype of ``raw.npy`` (``"float32"`` default halves the
+        store; ``"float64"`` matches the in-memory simulator bytes).
+    submit_order:
+        Optional permutation of shard ids fixing submission order —
+        exists so tests can prove order-independence explicitly.
+
+    Returns the opened :class:`ShardedDataset`.
+    """
+    from .cohorts import PROFILES
+
+    key = cohort.lower().replace("-", "").replace("_", "")
+    aliases = {"physionet": "physionet2012", "mimiciii": "mimic3",
+               "mimic": "mimic3"}
+    profile = PROFILES[aliases.get(key, key)]
+    seed = int(seed if seed is not None else profile.seed)
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise ValueError(f"dtype must be a float type, got {dtype}")
+
+    out_dir = Path(out_dir)
+    if (out_dir / MANIFEST_NAME).exists():
+        raise FileExistsError(f"{out_dir} already holds a manifest; "
+                              "refusing to overwrite an existing store")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    generator_kwargs = _generator_kwargs(profile)
+    grid = plan_shards(num_admissions, shard_size)
+    if submit_order is not None:
+        by_id = dict(grid)
+        if sorted(submit_order) != [shard_id for shard_id, _ in grid]:
+            raise ValueError("submit_order must be a permutation of the "
+                             "shard ids")
+        grid = [(shard_id, by_id[shard_id]) for shard_id in submit_order]
+    jobs = [(str(out_dir), generator_kwargs, seed, shard_id, count,
+             str(dtype)) for shard_id, count in grid]
+
+    if num_workers > 1:
+        import multiprocessing
+        with multiprocessing.get_context("fork").Pool(num_workers) as pool:
+            entries = list(pool.imap_unordered(_write_shard_star, jobs))
+    else:
+        entries = [_write_shard_star(job) for job in jobs]
+    entries.sort(key=lambda e: e["shard_id"])
+
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "cohort": profile.name,
+        "seed": seed,
+        "num_admissions": int(num_admissions),
+        "shard_size": int(shard_size),
+        "dtype": dtype.name,
+        "num_time_steps": NUM_TIME_STEPS,
+        "feature_names": list(FEATURE_NAMES),
+        "archetype_names": [a.name for a in ARCHETYPES],
+        "generator": generator_kwargs,
+        "shards": entries,
+    }
+    with open(out_dir / MANIFEST_NAME, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    _standardizer_from_entries(entries).save(out_dir / "standardizer.npz")
+    return ShardedDataset.open(out_dir)
+
+
+def regenerate_shard(store_dir, shard_id):
+    """Rebuild one shard's files from the manifest's determinism key.
+
+    Overwrites the shard directory in place and verifies the regenerated
+    bytes reproduce the manifest's checksums — a mismatch (e.g. the
+    store was generated by an incompatible simulator version) raises
+    :class:`ShardIntegrityError` naming the shard.  Returns the shard's
+    manifest entry.
+    """
+    store_dir = Path(store_dir)
+    with open(store_dir / MANIFEST_NAME) as handle:
+        manifest = json.load(handle)
+    by_id = {entry["shard_id"]: entry for entry in manifest["shards"]}
+    if shard_id not in by_id:
+        raise KeyError(f"no shard {shard_id} in {store_dir}")
+    expected = by_id[shard_id]
+    generator_kwargs = {key: manifest["generator"][key]
+                        for key in _GENERATOR_KEYS}
+    entry = _write_shard(store_dir, generator_kwargs, manifest["seed"],
+                         shard_id, expected["count"], manifest["dtype"])
+    for name, info in expected["files"].items():
+        regenerated = entry["files"][name]
+        if regenerated["sha256"] != info["sha256"]:
+            raise ShardIntegrityError(
+                f"{expected['path']}: regenerated {name} does not "
+                f"reproduce the manifest checksum — the store was built "
+                f"by an incompatible generator")
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+class _NpyReader:
+    """Row-addressable reader over one ``.npy`` file.
+
+    Reads rows with plain ``seek``/``read`` (coalescing consecutive
+    runs) rather than memmaps, so streamed epochs do not accrue mapped
+    page-cache pages in the process RSS — the property the memory
+    ceiling benchmark depends on.  Size mismatches (truncation) raise
+    :class:`ShardIntegrityError` naming the shard.
+    """
+
+    def __init__(self, path, shard_name):
+        self.path = Path(path)
+        self.shard_name = shard_name
+        self._file = open(self.path, "rb")
+        try:
+            version = np.lib.format.read_magic(self._file)
+            if version == (1, 0):
+                shape, fortran, dtype = \
+                    np.lib.format.read_array_header_1_0(self._file)
+            else:
+                shape, fortran, dtype = \
+                    np.lib.format.read_array_header_2_0(self._file)
+            if fortran:
+                raise ShardIntegrityError(
+                    f"{shard_name}: {self.path.name} is Fortran-ordered; "
+                    "shard arrays must be C-contiguous")
+            self.shape = shape
+            self.dtype = dtype
+            self._offset = self._file.tell()
+            self._row_bytes = (int(np.prod(shape[1:], dtype=np.int64))
+                               * dtype.itemsize)
+            expected = self._offset + self._row_bytes * shape[0]
+            actual = os.fstat(self._file.fileno()).st_size
+            if actual < expected:
+                raise ShardIntegrityError(
+                    f"{shard_name}: {self.path.name} is truncated "
+                    f"({actual} bytes on disk, {expected} expected)")
+        except Exception:
+            self._file.close()
+            raise
+
+    def read_rows(self, rows):
+        """Gather the given rows (any order) into a fresh array."""
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty((len(rows),) + self.shape[1:], dtype=self.dtype)
+        if not len(rows):
+            return out
+        if rows.min() < 0 or rows.max() >= self.shape[0]:
+            raise IndexError(f"row index out of range for {self.path}")
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        # Coalesce consecutive rows into single reads.
+        run_starts = np.flatnonzero(
+            np.diff(sorted_rows, prepend=sorted_rows[0] - 2) != 1)
+        run_bounds = list(run_starts) + [len(sorted_rows)]
+        flat = out.reshape(len(rows), -1)
+        for begin, end in zip(run_bounds[:-1], run_bounds[1:]):
+            first = int(sorted_rows[begin])
+            span = end - begin
+            self._file.seek(self._offset + first * self._row_bytes)
+            data = self._file.read(span * self._row_bytes)
+            if len(data) != span * self._row_bytes:
+                raise ShardIntegrityError(
+                    f"{self.shard_name}: short read from {self.path.name} "
+                    f"(shard file truncated mid-epoch?)")
+            block = np.frombuffer(data, dtype=self.dtype)
+            flat[order[begin:end]] = block.reshape(span, -1)
+        return out
+
+    def read_all(self):
+        return self.read_rows(np.arange(self.shape[0]))
+
+    def close(self):
+        self._file.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class ShardedDataset:
+    """Lazy view over a sharded cohort store (or a subset of its shards).
+
+    Opening a store reads *only* the manifest: admission counts, length
+    histograms, moment statistics, and checksums.  Per-shard label and
+    length arrays (a few bytes per admission) load on first use; the
+    raw value arrays are only ever touched by :meth:`load_shard`,
+    :meth:`gather`, and the streaming loader — never by the metadata
+    surface (``tests/data/test_shards.py`` pins this by destroying
+    ``raw.npy`` and exercising every metadata path).
+
+    The dataset plugs into the training stack anywhere an
+    :class:`~repro.data.dataset.EMRDataset` is accepted:
+    :func:`repro.data.iterate_batches` streams it through a
+    :class:`ShardedDataLoader`, ``labels``/``subset``/``len`` cover the
+    engine's evaluation paths, and :meth:`materialize` concatenates the
+    whole store into an in-memory ``EMRDataset`` (small cohorts only).
+    """
+
+    def __init__(self, root, manifest, entries, standardizer):
+        self.root = Path(root)
+        self.manifest = manifest
+        self.entries = sorted(entries, key=lambda e: e["shard_id"])
+        self.standardizer = standardizer
+        self.dtype = np.dtype(manifest["dtype"])
+        self.feature_names = tuple(manifest["feature_names"])
+        self.num_time_steps = int(manifest["num_time_steps"])
+        counts = [entry["count"] for entry in self.entries]
+        #: Global row offset of each shard (leading 0, trailing total).
+        self.offsets = np.concatenate([[0], np.cumsum(counts)]).astype(
+            np.int64)
+        self._lock = threading.Lock()
+        self._verified = set()
+        self._lengths = None
+        self._labels = None
+        self._annot = None
+
+    # ------------------------------------------------------------------
+    # Opening / validation
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, root, verify=False):
+        """Open a store directory, validating the manifest.
+
+        Structural validation always runs: the manifest format, the
+        feature schema, and every shard file's existence and size.
+        ``verify=True`` additionally checks every content checksum up
+        front (a full read of the store); otherwise checksums are
+        verified lazily, once per shard, on first data access.
+        """
+        root = Path(root)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no {MANIFEST_NAME} under {root}")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ShardIntegrityError(
+                f"unsupported manifest format "
+                f"{manifest.get('format')!r} in {manifest_path}")
+        if tuple(manifest["feature_names"]) != FEATURE_NAMES:
+            raise ShardIntegrityError(
+                f"{manifest_path}: feature schema does not match this "
+                f"build ({len(manifest['feature_names'])} features in "
+                f"the manifest, {len(FEATURE_NAMES)} in the schema)")
+        entries = manifest["shards"]
+        total = sum(entry["count"] for entry in entries)
+        if total != manifest["num_admissions"]:
+            raise ShardIntegrityError(
+                f"{manifest_path}: shard counts sum to {total}, "
+                f"manifest claims {manifest['num_admissions']}")
+        for entry in entries:
+            shard_dir = root / entry["path"]
+            for name in _SHARD_FILES:
+                info = entry["files"].get(name)
+                path = shard_dir / name
+                if info is None or not path.exists():
+                    raise ShardIntegrityError(
+                        f"{entry['path']}: missing shard file {name}")
+                size = path.stat().st_size
+                if size != info["bytes"]:
+                    raise ShardIntegrityError(
+                        f"{entry['path']}: {name} is {size} bytes on "
+                        f"disk, manifest records {info['bytes']} "
+                        f"(truncated or corrupted shard)")
+        standardizer = _standardizer_from_entries(entries)
+        dataset = cls(root, manifest, entries, standardizer)
+        if verify:
+            for entry in dataset.entries:
+                dataset._verify_shard(entry)
+        return dataset
+
+    def _verify_shard(self, entry):
+        """Checksum every file of a shard against the manifest."""
+        for name, info in entry["files"].items():
+            path = self.root / entry["path"] / name
+            digest = _sha256(path)
+            if digest != info["sha256"]:
+                raise ShardIntegrityError(
+                    f"{entry['path']}: checksum mismatch for {name} "
+                    f"(expected {info['sha256'][:12]}…, got "
+                    f"{digest[:12]}…) — shard contents are corrupted")
+
+    def ensure_verified(self, shard_index):
+        """Verify a shard's checksums once per dataset instance."""
+        entry = self.entries[shard_index]
+        with self._lock:
+            if entry["shard_id"] in self._verified:
+                return
+        self._verify_shard(entry)
+        with self._lock:
+            self._verified.add(entry["shard_id"])
+
+    def validate(self):
+        """Eagerly checksum every shard (full read of the store)."""
+        for index in range(len(self.entries)):
+            self.ensure_verified(index)
+
+    # ------------------------------------------------------------------
+    # Shard selection (views)
+    # ------------------------------------------------------------------
+    def select_shards(self, shard_ids):
+        """A view over a subset of shards.
+
+        The view's standardizer is re-derived from *its own* shards'
+        moments, so a train view never sees validation statistics —
+        the same no-leakage rule as
+        :func:`repro.data.dataset.train_val_test_split`.
+        """
+        wanted = set(int(s) for s in shard_ids)
+        known = {entry["shard_id"] for entry in self.entries}
+        missing = wanted - known
+        if missing:
+            raise KeyError(f"unknown shard ids {sorted(missing)}")
+        entries = [entry for entry in self.entries
+                   if entry["shard_id"] in wanted]
+        return ShardedDataset(self.root, self.manifest, entries,
+                              _standardizer_from_entries(entries))
+
+    def split(self, val_shards=1):
+        """Hold out the last ``val_shards`` shards as a validation view.
+
+        Returns ``(train_view, validation_view)``.  Both views stream
+        independently; the train view's standardizer is fit on the
+        train shards only.
+        """
+        val_shards = int(val_shards)
+        if not 0 < val_shards < len(self.entries):
+            raise ValueError(
+                f"val_shards must lie in [1, {len(self.entries) - 1}], "
+                f"got {val_shards}")
+        ids = [entry["shard_id"] for entry in self.entries]
+        return (self.select_shards(ids[:-val_shards]),
+                self.select_shards(ids[-val_shards:]))
+
+    # ------------------------------------------------------------------
+    # Lazy metadata surface (never touches raw.npy)
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return int(self.offsets[-1])
+
+    @property
+    def num_shards(self):
+        return len(self.entries)
+
+    @property
+    def num_features(self):
+        return len(self.feature_names)
+
+    def lengths(self):
+        """Per-admission true sequence lengths (from ``lengths.npy``)."""
+        if self._lengths is None:
+            parts = [self._read_small(entry, "lengths.npy")
+                     for entry in self.entries]
+            self._lengths = np.concatenate(parts).astype(np.int64)
+        return self._lengths
+
+    def length_histogram(self):
+        """Cohort-wide length histogram summed from the manifest."""
+        width = self.num_time_steps + 1
+        total = np.zeros(width, dtype=np.int64)
+        for entry in self.entries:
+            histogram = np.asarray(entry["length_histogram"],
+                                   dtype=np.int64)
+            total[:len(histogram)] += histogram
+        return total
+
+    def labels(self, task):
+        """Label vector for a task (loads only the tiny label arrays)."""
+        labels, annot = self._load_labels()
+        if task == "mortality":
+            return labels[:, 0].astype(np.int64)
+        if task == "los":
+            return labels[:, 1].astype(np.int64)
+        if task == "phenotype":
+            return annot[:, 0].astype(np.int64)
+        raise ValueError(f"unknown task {task!r}; "
+                         "use 'mortality', 'los', or 'phenotype'")
+
+    def statistics(self):
+        """Table-I statistics computed from metadata + labels only.
+
+        Exactly matches ``materialize().statistics()`` — observation
+        counts come from the manifest's moment statistics, which are
+        integer-exact.
+        """
+        labels, _ = self._load_labels()
+        mortality = labels[:, 0]
+        long_stay = labels[:, 1]
+        cells = len(self) * self.num_time_steps * self.num_features
+        observed = sum(float(np.sum(entry["moments"]["count"]))
+                       for entry in self.entries)
+        return {
+            "admissions": len(self),
+            "survivor": int((mortality == 0).sum()),
+            "non_survivor": int((mortality == 1).sum()),
+            "los_le_7": int((long_stay == 0).sum()),
+            "los_gt_7": int((long_stay == 1).sum()),
+            "avg_records_per_patient": observed / len(self),
+            "num_features": self.num_features,
+            "missing_rate": 1.0 - observed / cells,
+        }
+
+    def _read_small(self, entry, name):
+        with _NpyReader(self.root / entry["path"] / name,
+                        entry["path"]) as reader:
+            return reader.read_all()
+
+    def _load_labels(self):
+        with self._lock:
+            if self._labels is None:
+                self._labels = np.concatenate(
+                    [self._read_small(entry, "labels.npy")
+                     for entry in self.entries])
+                self._annot = np.concatenate(
+                    [self._read_small(entry, "annot.npy")
+                     for entry in self.entries])
+            return self._labels, self._annot
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+    def open_readers(self):
+        """Fresh per-epoch ``raw.npy`` readers (caller closes them)."""
+        return _ReaderPool(self)
+
+    def gather_raw(self, indices, readers=None):
+        """Gather raw rows for global indices, in the given order."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0
+                             or indices.max() >= len(self)):
+            raise IndexError("admission index out of range")
+        owned = readers is None
+        if owned:
+            readers = self.open_readers()
+        try:
+            out = np.empty((len(indices), self.num_time_steps,
+                            self.num_features), dtype=self.dtype)
+            shard_of = np.searchsorted(self.offsets, indices,
+                                       side="right") - 1
+            for shard_index in np.unique(shard_of):
+                where = np.flatnonzero(shard_of == shard_index)
+                rows = indices[where] - self.offsets[shard_index]
+                self.ensure_verified(int(shard_index))
+                out[where] = readers.get(int(shard_index)).read_rows(rows)
+            return out
+        finally:
+            if owned:
+                readers.close()
+
+    def _preprocess(self, raw):
+        """Raw rows -> model-ready arrays via the canonical pipeline.
+
+        Identical, elementwise-per-row math to ``build_dataset`` with a
+        fixed standardizer, so any grouping of rows (whole store, one
+        shard, one batch) produces bit-identical values.
+        """
+        mask = ~np.isnan(raw)
+        values = impute(self.standardizer.transform(raw), mask)
+        return values, mask, mask.any(axis=1), observation_deltas(mask)
+
+    def _as_dataset(self, raw, labels, annot):
+        values, mask, ever_observed, deltas = self._preprocess(raw)
+        names = self.manifest["archetype_names"]
+        return EMRDataset(
+            values=values, mask=mask, ever_observed=ever_observed,
+            deltas=deltas,
+            mortality=labels[:, 0].astype(np.int64),
+            long_stay=labels[:, 1].astype(np.int64),
+            archetypes=[names[i] for i in annot[:, 0]],
+            onset_hours=[None if h < 0 else int(h) for h in annot[:, 1]],
+            feature_names=self.feature_names,
+        )
+
+    def subset(self, indices):
+        """Materialize the given admissions as an in-memory dataset."""
+        indices = np.asarray(indices, dtype=np.int64)
+        labels, annot = self._load_labels()
+        return self._as_dataset(self.gather_raw(indices),
+                                labels[indices], annot[indices])
+
+    def load_shard(self, shard_index):
+        """Materialize one shard (by position in this view) after
+        verifying its checksums."""
+        entry = self.entries[shard_index]
+        self.ensure_verified(shard_index)
+        with _NpyReader(self.root / entry["path"] / "raw.npy",
+                        entry["path"]) as reader:
+            raw = reader.read_all()
+        labels = self._read_small(entry, "labels.npy")
+        annot = self._read_small(entry, "annot.npy")
+        return self._as_dataset(raw, labels, annot)
+
+    def materialize(self):
+        """Concatenate every shard into one in-memory ``EMRDataset``.
+
+        Intended for small stores (tests, validation views): memory is
+        O(cohort), which is exactly what the streaming loader avoids.
+        """
+        shards = [self.load_shard(i) for i in range(len(self.entries))]
+        first = shards[0]
+        return EMRDataset(
+            values=np.concatenate([s.values for s in shards]),
+            mask=np.concatenate([s.mask for s in shards]),
+            ever_observed=np.concatenate([s.ever_observed for s in shards]),
+            deltas=np.concatenate([s.deltas for s in shards]),
+            mortality=np.concatenate([s.mortality for s in shards]),
+            long_stay=np.concatenate([s.long_stay for s in shards]),
+            archetypes=sum((s.archetypes for s in shards), []),
+            onset_hours=sum((s.onset_hours for s in shards), []),
+            feature_names=first.feature_names,
+        )
+
+    # ------------------------------------------------------------------
+    # Epoch planning (shared with the in-memory iterate_batches)
+    # ------------------------------------------------------------------
+    def epoch_plan(self, batch_size, rng=None, bucket_by_length=False):
+        """The epoch's batches as global-index arrays.
+
+        Consumes ``rng`` with *exactly* the calls the in-memory
+        :func:`repro.data.iterate_batches` makes over a materialized
+        copy — global shuffle (or global :class:`BucketSampler` over the
+        lazy lengths metadata) then fixed-size slices — which is what
+        makes a streamed epoch bit-identical to an in-memory epoch
+        under the same seed.
+        """
+        if bucket_by_length:
+            return BucketSampler(self.lengths(),
+                                 batch_size).batches(rng)
+        indices = np.arange(len(self))
+        if rng is not None:
+            rng.shuffle(indices)
+        return [indices[start:start + int(batch_size)]
+                for start in range(0, len(indices), int(batch_size))]
+
+    def iter_batches(self, task, batch_size, rng=None,
+                     bucket_by_length=False, prefetch=4):
+        """Stream one epoch of ``(batch_dataset, labels)`` minibatches."""
+        loader = ShardedDataLoader(self, task, batch_size,
+                                   bucket_by_length=bucket_by_length,
+                                   prefetch=prefetch)
+        return loader.batches(rng)
+
+
+class _ReaderPool:
+    """Lazily opened ``raw.npy`` readers for one consumer thread."""
+
+    def __init__(self, dataset):
+        self._dataset = dataset
+        self._readers = {}
+
+    def get(self, shard_index):
+        reader = self._readers.get(shard_index)
+        if reader is None:
+            entry = self._dataset.entries[shard_index]
+            reader = _NpyReader(
+                self._dataset.root / entry["path"] / "raw.npy",
+                entry["path"])
+            self._readers[shard_index] = reader
+        return reader
+
+    def close(self):
+        for reader in self._readers.values():
+            reader.close()
+        self._readers.clear()
+
+
+# ----------------------------------------------------------------------
+# Streaming loader
+# ----------------------------------------------------------------------
+
+PREFETCH_THREAD_NAME = "repro-shard-prefetch"
+
+_BATCH, _DONE, _ERROR = "batch", "done", "error"
+
+
+class ShardedDataLoader:
+    """Out-of-core minibatch stream with background-thread prefetch.
+
+    Each call to :meth:`batches` runs one epoch: the batch plan is
+    computed up front from lazy metadata (see
+    :meth:`ShardedDataset.epoch_plan`), then a dedicated prefetch
+    thread gathers, verifies, and preprocesses batches ahead of the
+    consumer through a bounded queue (``prefetch`` batches deep, so
+    resident memory is O(batch_size), independent of cohort size).
+
+    Failure semantics: any error in the prefetch thread — including
+    :class:`ShardIntegrityError` from a corrupted shard — is re-raised
+    in the consumer, never swallowed, and the thread always terminates.
+    Abandoning the generator mid-epoch (``close``/GC) drains the queue,
+    signals the thread, and joins it; ``tests/data/test_shards_faults``
+    asserts no ``repro-shard-prefetch`` thread survives either path.
+    """
+
+    def __init__(self, dataset, task, batch_size, bucket_by_length=False,
+                 prefetch=4):
+        if not isinstance(dataset, ShardedDataset):
+            raise TypeError("ShardedDataLoader needs a ShardedDataset, "
+                            f"got {type(dataset).__name__}")
+        if int(batch_size) <= 0:
+            raise ValueError(f"batch_size must be positive, "
+                             f"got {batch_size}")
+        if int(prefetch) <= 0:
+            raise ValueError(f"prefetch must be positive, got {prefetch}")
+        self.dataset = dataset
+        self.task = task
+        self.batch_size = int(batch_size)
+        self.bucket_by_length = bool(bucket_by_length)
+        self.prefetch = int(prefetch)
+
+    # -- producer side -------------------------------------------------
+    def _produce(self, plan, out_queue, stop):
+        def put(item):
+            """Bounded put that gives up when the consumer is gone."""
+            while not stop.is_set():
+                try:
+                    out_queue.put(item, timeout=0.1)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        dataset = self.dataset
+        labels = dataset.labels(self.task)
+        readers = dataset.open_readers()
+        try:
+            for batch_indices in plan:
+                if stop.is_set():
+                    return
+                raw = dataset.gather_raw(batch_indices, readers=readers)
+                all_labels, annot = dataset._load_labels()
+                batch = dataset._as_dataset(raw, all_labels[batch_indices],
+                                            annot[batch_indices])
+                if not put((_BATCH, (batch, labels[batch_indices]))):
+                    return
+            put((_DONE, None))
+        except BaseException as error:  # delivered to the consumer
+            put((_ERROR, error))
+        finally:
+            readers.close()
+
+    # -- consumer side -------------------------------------------------
+    def batches(self, rng=None):
+        """Generator over one epoch of ``(batch, labels)`` pairs."""
+        plan = self.dataset.epoch_plan(self.batch_size, rng,
+                                       self.bucket_by_length)
+        stop = threading.Event()
+        out_queue = queue.Queue(maxsize=self.prefetch)
+        worker = threading.Thread(
+            target=self._produce, args=(plan, out_queue, stop),
+            name=PREFETCH_THREAD_NAME, daemon=True)
+        worker.start()
+        try:
+            while True:
+                try:
+                    kind, payload = out_queue.get(timeout=1.0)
+                except queue.Empty:
+                    if not worker.is_alive():
+                        raise RuntimeError(
+                            "shard prefetch thread died without "
+                            "delivering a result") from None
+                    continue
+                if kind == _DONE:
+                    return
+                if kind == _ERROR:
+                    raise payload
+                yield payload
+        finally:
+            stop.set()
+            while True:
+                try:
+                    out_queue.get_nowait()
+                except queue.Empty:
+                    break
+            worker.join(timeout=30.0)

@@ -1,0 +1,72 @@
+"""Memory-ceiling smoke for out-of-core training (``pytest -m shards``).
+
+Generates a 10k-admission sharded store and trains one GRU epoch from
+it **in a fresh subprocess**, then asserts the subprocess's peak RSS
+stayed under the ceiling recorded in
+``benchmarks/results/shard_floor.json``.  The subprocess matters:
+``ru_maxrss`` is a process-lifetime high-water mark, so measuring in
+the pytest process would report whatever earlier tests peaked at.
+
+Runs in the CI shards lane; excluded from tier-1 via the ``bench``
+marker (it takes ~25 s).  BENCH_7.json documents the same ceiling
+property at 1M admissions — this lane guards it at a size CI can
+afford.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.shards, pytest.mark.bench]
+
+FLOOR_PATH = (Path(__file__).resolve().parents[2]
+              / "benchmarks" / "results" / "shard_floor.json")
+
+_WORKER = """
+import json, sys
+from repro.bench.runner import benchmark_sharded_training
+from repro.data import generate_shards
+
+spec = json.loads(sys.argv[1])
+generate_shards(sys.argv[2], spec["admissions"],
+                shard_size=spec["shard_size"], seed=spec["seed"])
+result = benchmark_sharded_training(
+    sys.argv[2], model_name=spec["model"], task=spec["task"],
+    epochs=spec["epochs"], batch_size=spec["batch_size"],
+    seed=spec["seed"], val_shards=spec["val_shards"],
+    bucket_by_length=spec["bucket_by_length"])
+print(json.dumps({"max_rss_bytes": result["max_rss_bytes"],
+                  "steps_per_sec": result["steps_per_sec"]}))
+"""
+
+
+@pytest.fixture(scope="module")
+def floor_spec():
+    return json.loads(FLOOR_PATH.read_text())
+
+
+def test_floor_file_is_well_formed(floor_spec):
+    assert floor_spec["schema"] == "repro.data/shard-memory-v1"
+    assert 0 < floor_spec["measured_max_rss_bytes"] \
+        < floor_spec["ceiling_bytes"]
+    assert floor_spec["benchmark"]["bucket_by_length"] is True
+
+
+def test_streamed_epoch_stays_under_memory_ceiling(floor_spec, tmp_path):
+    spec = floor_spec["benchmark"]
+    proc = subprocess.run(
+        [sys.executable, "-c", _WORKER, json.dumps(spec),
+         str(tmp_path / "store")],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-4000:]
+    measured = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert measured["steps_per_sec"] > 0
+    ceiling = floor_spec["ceiling_bytes"]
+    assert measured["max_rss_bytes"] <= ceiling, (
+        f"out-of-core training peaked at {measured['max_rss_bytes']} "
+        f"bytes RSS, above the {ceiling}-byte ceiling recorded in "
+        f"{FLOOR_PATH.name} — the streaming loader may be "
+        f"materializing the cohort; see docs/DATA.md.")

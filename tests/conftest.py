@@ -45,3 +45,15 @@ def tiny_dataset(tiny_admissions):
 @pytest.fixture(scope="session")
 def tiny_splits(tiny_admissions):
     return train_val_test_split(tiny_admissions, np.random.default_rng(1))
+
+
+@pytest.fixture(scope="session")
+def shard_store(tmp_path_factory):
+    """A small sharded cohort store (96 admissions, 6 shards), shared
+    read-only across the shards test suites; tests that mutate files
+    must copy it first (see tests/data/test_shards_faults.py)."""
+    from repro.data import generate_shards
+    root = tmp_path_factory.mktemp("shard_store") / "store"
+    generate_shards(root, 96, cohort="physionet2012", shard_size=16,
+                    seed=7)
+    return root

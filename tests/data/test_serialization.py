@@ -1,8 +1,9 @@
-"""Tests of dataset save/load round trips."""
+"""Tests of dataset save/load round trips and header-only metadata."""
 
 import numpy as np
+import pytest
 
-from repro.data import load_dataset, save_dataset
+from repro.data import dataset_metadata, load_dataset, save_dataset
 
 
 class TestRoundTrip:
@@ -45,3 +46,36 @@ class TestRoundTrip:
         sub = restored.subset([0, 1])
         assert len(sub) == 2
         assert restored.labels("phenotype").shape == (len(restored),)
+
+
+class TestMetadata:
+    def test_matches_saved_arrays(self, tiny_dataset, tmp_path):
+        path = tmp_path / "cohort.npz"
+        save_dataset(tiny_dataset, path)
+        meta = dataset_metadata(path)
+        assert meta["admissions"] == len(tiny_dataset)
+        assert meta["num_time_steps"] == tiny_dataset.num_time_steps
+        assert meta["num_features"] == tiny_dataset.num_features
+        assert meta["arrays"]["values"]["shape"] \
+            == tiny_dataset.values.shape
+        assert meta["arrays"]["mask"]["dtype"] == "bool"
+
+    def test_reads_headers_without_payloads(self, tiny_dataset, tmp_path,
+                                            monkeypatch):
+        """Regression for the eager-loading fix: metadata must come from
+        the ~100-byte .npy headers alone, never np.load."""
+        path = tmp_path / "cohort.npz"
+        save_dataset(tiny_dataset, path)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("dataset_metadata called np.load")
+
+        monkeypatch.setattr(np, "load", forbidden)
+        meta = dataset_metadata(path)
+        assert meta["admissions"] == len(tiny_dataset)
+
+    def test_rejects_foreign_archives(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, weights=np.zeros(3))
+        with pytest.raises(ValueError, match="values"):
+            dataset_metadata(path)

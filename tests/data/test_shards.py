@@ -1,0 +1,153 @@
+"""Core tests for the sharded data plane (repro.data.shards).
+
+The store fixture lives in tests/conftest.py (``shard_store``); these
+tests treat it as read-only.  Fault injection (mutating shard bytes)
+lives in test_shards_faults.py, randomized invariants in
+test_shards_properties.py, and the training-equivalence story in
+tests/train/test_sharded_equivalence.py.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (FEATURE_NAMES, NUM_TIME_STEPS, ShardedDataset,
+                        ShardIntegrityError, Standardizer, plan_shards)
+from repro.data.shards import MANIFEST_NAME
+
+pytestmark = pytest.mark.shards
+
+
+def test_plan_shards_covers_cohort():
+    plan = plan_shards(100, 32)
+    assert [count for _, count in plan] == [32, 32, 32, 4]
+    assert [shard_id for shard_id, _ in plan] == [0, 1, 2, 3]
+    with pytest.raises(ValueError):
+        plan_shards(0, 32)
+    with pytest.raises(ValueError):
+        plan_shards(10, 0)
+
+
+def test_open_validates_and_reads_manifest(shard_store):
+    store = ShardedDataset.open(shard_store, verify=True)
+    assert len(store) == 96
+    assert store.num_shards == 6
+    assert store.num_features == len(FEATURE_NAMES)
+    assert store.num_time_steps == NUM_TIME_STEPS
+    assert store.manifest["cohort"] == "PhysioNet2012"
+    assert [e["shard_id"] for e in store.entries] == list(range(6))
+
+
+def test_open_rejects_missing_and_malformed(tmp_path, shard_store):
+    with pytest.raises(FileNotFoundError):
+        ShardedDataset.open(tmp_path / "nowhere")
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    manifest = json.loads((shard_store / MANIFEST_NAME).read_text())
+    manifest["format"] = 99
+    (bad / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ShardIntegrityError, match="format"):
+        ShardedDataset.open(bad)
+
+
+def test_statistics_match_materialized(shard_store):
+    store = ShardedDataset.open(shard_store)
+    assert store.statistics() == store.materialize().statistics()
+
+
+def test_lengths_and_histogram_match_materialized(shard_store):
+    store = ShardedDataset.open(shard_store)
+    dataset = store.materialize()
+    np.testing.assert_array_equal(store.lengths(), dataset.lengths())
+    np.testing.assert_array_equal(
+        store.length_histogram(),
+        np.bincount(dataset.lengths(), minlength=NUM_TIME_STEPS + 1))
+
+
+def test_labels_match_materialized(shard_store):
+    store = ShardedDataset.open(shard_store)
+    dataset = store.materialize()
+    for task in ("mortality", "los", "phenotype"):
+        np.testing.assert_array_equal(store.labels(task),
+                                      dataset.labels(task))
+    with pytest.raises(ValueError, match="unknown task"):
+        store.labels("readmission")
+
+
+def test_standardizer_matches_in_memory_fit(shard_store):
+    """The moments-based standardizer matches Standardizer.fit over the
+    concatenated (already-cleaned) raw values — shard-sized partial
+    sums lose nothing.  The mean is exact; the std tolerance covers the
+    one-pass E[x^2]-E[x]^2 formula's cancellation against the two-pass
+    nanstd (~1e-12 relative for large-mean vitals)."""
+    store = ShardedDataset.open(shard_store)
+    raw = np.concatenate([
+        np.load(shard_store / entry["path"] / "raw.npy")
+        for entry in store.entries])
+    reference = Standardizer().fit(raw.astype(np.float64))
+    np.testing.assert_allclose(store.standardizer.mean, reference.mean,
+                               rtol=0, atol=1e-12)
+    np.testing.assert_allclose(store.standardizer.std, reference.std,
+                               rtol=1e-9, atol=0)
+
+
+def test_subset_matches_materialized_subset(shard_store):
+    store = ShardedDataset.open(shard_store)
+    dataset = store.materialize()
+    indices = np.array([5, 90, 17, 17, 0, 63])   # cross-shard, repeated
+    streamed = store.subset(indices)
+    reference = dataset.subset(indices)
+    np.testing.assert_array_equal(streamed.values, reference.values)
+    np.testing.assert_array_equal(streamed.mask, reference.mask)
+    np.testing.assert_array_equal(streamed.deltas, reference.deltas)
+    np.testing.assert_array_equal(streamed.mortality, reference.mortality)
+    with pytest.raises(IndexError):
+        store.subset([len(store)])
+
+
+def test_split_views_are_leak_free(shard_store):
+    store = ShardedDataset.open(shard_store)
+    train, validation = store.split(val_shards=2)
+    assert len(train) + len(validation) == len(store)
+    assert [e["shard_id"] for e in train.entries] == [0, 1, 2, 3]
+    assert [e["shard_id"] for e in validation.entries] == [4, 5]
+    # The train view's standardizer must come from train shards only.
+    raw = np.concatenate([
+        np.load(shard_store / entry["path"] / "raw.npy")
+        for entry in train.entries])
+    reference = Standardizer().fit(raw.astype(np.float64))
+    np.testing.assert_allclose(train.standardizer.mean, reference.mean,
+                               rtol=0, atol=1e-12)
+    np.testing.assert_allclose(train.standardizer.std, reference.std,
+                               rtol=1e-9, atol=0)
+    with pytest.raises(ValueError, match="val_shards"):
+        store.split(val_shards=6)
+    with pytest.raises(KeyError):
+        store.select_shards([42])
+
+
+def test_metadata_path_never_reads_raw_arrays(shard_store, tmp_path):
+    """Regression for the eager-loading fix: opening a manifest and
+    using the metadata surface must not materialize the value arrays.
+
+    Proven by corruption, not mocking: every ``raw.npy`` is overwritten
+    with same-size garbage, so any code path that actually read raw
+    values would fail its checksum — yet open/len/lengths/labels/
+    statistics all still work, and only data access raises."""
+    import shutil
+
+    root = tmp_path / "store"
+    shutil.copytree(shard_store, root)
+    for entry in ShardedDataset.open(root).entries:
+        path = root / entry["path"] / "raw.npy"
+        path.write_bytes(b"\x00" * path.stat().st_size)
+
+    store = ShardedDataset.open(root)        # structural checks only
+    assert len(store) == 96
+    assert store.lengths().shape == (96,)
+    assert store.labels("mortality").shape == (96,)
+    assert store.statistics()["admissions"] == 96
+    assert store.length_histogram().sum() == 96
+    with pytest.raises(ShardIntegrityError, match="checksum"):
+        store.subset([0])

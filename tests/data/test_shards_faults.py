@@ -1,0 +1,128 @@
+"""Fault-path tests: corruption and prefetch-thread lifecycle.
+
+The streaming loader's failure contract is "fail loudly, terminate
+cleanly": a bad shard raises :class:`ShardIntegrityError` naming the
+shard in the *consumer* thread (never a hang), and abandoning an epoch
+mid-stream — the consumer breaking out of the loop, or the generator
+being garbage-collected — leaves no ``repro-shard-prefetch`` thread
+behind.  Every test here mutates shard bytes, so each works on its own
+copy of the session store.
+"""
+
+import gc
+import shutil
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import (ShardedDataLoader, ShardedDataset,
+                        ShardIntegrityError)
+from repro.data.shards import PREFETCH_THREAD_NAME
+
+pytestmark = pytest.mark.shards
+
+
+@pytest.fixture
+def store_copy(shard_store, tmp_path):
+    root = tmp_path / "store"
+    shutil.copytree(shard_store, root)
+    return root
+
+
+def _prefetch_threads():
+    return [t for t in threading.enumerate()
+            if t.name == PREFETCH_THREAD_NAME]
+
+
+def _assert_no_prefetch_threads(timeout=5.0):
+    """The loader joins its worker on the main path; the GC path only
+    signals it, so allow a short grace period before failing."""
+    deadline = time.monotonic() + timeout
+    while _prefetch_threads() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert _prefetch_threads() == []
+
+
+def _corrupt(root, shard="shard_00002", name="raw.npy", offset=2048):
+    path = root / shard / name
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def test_corrupted_shard_raises_naming_the_shard(store_copy):
+    _corrupt(store_copy)
+    store = ShardedDataset.open(store_copy)
+    loader = ShardedDataLoader(store, "mortality", batch_size=16)
+    with pytest.raises(ShardIntegrityError, match="shard_00002"):
+        for _ in loader.batches():
+            pass
+    _assert_no_prefetch_threads()
+
+
+def test_corruption_error_mentions_checksum(store_copy):
+    _corrupt(store_copy)
+    store = ShardedDataset.open(store_copy)
+    with pytest.raises(ShardIntegrityError, match="checksum"):
+        store.validate()
+
+
+def test_truncated_shard_raises_not_hangs(store_copy):
+    """Truncation after open (structural checks already passed) must
+    surface as ShardIntegrityError through the loader, not a hang."""
+    store = ShardedDataset.open(store_copy)
+    path = store_copy / "shard_00001" / "raw.npy"
+    path.write_bytes(path.read_bytes()[:1000])
+    loader = ShardedDataLoader(store, "mortality", batch_size=16)
+    with pytest.raises(ShardIntegrityError, match="shard_00001"):
+        for _ in loader.batches():
+            pass
+    _assert_no_prefetch_threads()
+
+
+def test_truncation_detected_at_open(store_copy):
+    path = store_copy / "shard_00003" / "raw.npy"
+    path.write_bytes(path.read_bytes()[:1000])
+    with pytest.raises(ShardIntegrityError, match="shard_00003"):
+        ShardedDataset.open(store_copy)
+
+
+def test_break_mid_epoch_leaves_no_threads(store_copy):
+    store = ShardedDataset.open(store_copy)
+    loader = ShardedDataLoader(store, "mortality", batch_size=8)
+    consumed = 0
+    for batch, labels in loader.batches(np.random.default_rng(0)):
+        consumed += 1
+        if consumed == 2:
+            break                      # generator close -> finally path
+    assert consumed == 2
+    _assert_no_prefetch_threads()
+
+
+def test_abandoned_generator_is_collected_cleanly(store_copy):
+    store = ShardedDataset.open(store_copy)
+    loader = ShardedDataLoader(store, "mortality", batch_size=8)
+    stream = loader.batches(np.random.default_rng(1))
+    next(stream)
+    del stream                         # GC -> GeneratorExit -> finally
+    gc.collect()
+    _assert_no_prefetch_threads()
+
+
+def test_completed_epoch_leaves_no_threads(store_copy):
+    store = ShardedDataset.open(store_copy)
+    count = sum(1 for _ in store.iter_batches("mortality", 16))
+    assert count == 6
+    _assert_no_prefetch_threads()
+
+
+def test_loader_rejects_bad_arguments(store_copy):
+    store = ShardedDataset.open(store_copy)
+    with pytest.raises(TypeError, match="ShardedDataset"):
+        ShardedDataLoader(store.materialize(), "mortality", 8)
+    with pytest.raises(ValueError, match="batch_size"):
+        ShardedDataLoader(store, "mortality", 0)
+    with pytest.raises(ValueError, match="prefetch"):
+        ShardedDataLoader(store, "mortality", 8, prefetch=0)

@@ -1,0 +1,152 @@
+"""Property tests for the sharded store's determinism contract.
+
+Three invariants make the store trustworthy at scale:
+
+(a) *byte determinism* — a shard is a pure function of
+    ``(cohort, seed, shard_id)``: deleting and regenerating any shard
+    reproduces identical bytes, and worker count / submission order
+    never leak into the output;
+(b) *partition* — an epoch plan covers every admission exactly once,
+    bucketed or not, for any batch size;
+(c) *seed determinism* — the same rng seed yields the same epoch plan.
+
+Seeded versions of each property run unconditionally; randomized
+versions run under Hypothesis when available (skipped otherwise —
+mirroring tests/train/test_bucketing_properties.py).
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.data import (ShardedDataset, generate_shards, plan_shards,
+                        regenerate_shard)
+from repro.data.shards import _SHARD_FILES, MANIFEST_NAME
+
+pytestmark = pytest.mark.shards
+
+
+def _store_fingerprint(root):
+    """Manifest text plus every shard file's bytes."""
+    fingerprint = {"manifest": (root / MANIFEST_NAME).read_bytes()}
+    for entry in ShardedDataset.open(root).entries:
+        for name in _SHARD_FILES:
+            fingerprint[f"{entry['path']}/{name}"] = \
+                (root / entry["path"] / name).read_bytes()
+    return fingerprint
+
+
+def _assert_plan_partitions(store, batch_size, bucket, seed):
+    rng = np.random.default_rng(seed) if seed is not None else None
+    plan = store.epoch_plan(batch_size, rng=rng, bucket_by_length=bucket)
+    seen = np.concatenate(plan)
+    assert sorted(seen.tolist()) == list(range(len(store)))
+    assert all(0 < len(batch) <= batch_size for batch in plan)
+
+
+# ----------------------------------------------------------------------
+# (a) byte determinism
+# ----------------------------------------------------------------------
+
+def test_regenerating_every_shard_reproduces_bytes(shard_store, tmp_path):
+    root = tmp_path / "store"
+    shutil.copytree(shard_store, root)
+    before = _store_fingerprint(root)
+    for entry in ShardedDataset.open(root).entries:
+        shutil.rmtree(root / entry["path"])
+        regenerate_shard(root, entry["shard_id"])
+    assert _store_fingerprint(root) == before
+    with pytest.raises(KeyError):
+        regenerate_shard(root, 999)
+
+
+def test_regenerate_detects_incompatible_generator(shard_store, tmp_path):
+    root = tmp_path / "store"
+    shutil.copytree(shard_store, root)
+    manifest = json.loads((root / MANIFEST_NAME).read_text())
+    manifest["generator"]["label_noise"] = 0.5
+    (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+    from repro.data import ShardIntegrityError
+    with pytest.raises(ShardIntegrityError, match="reproduce"):
+        regenerate_shard(root, 0)
+
+
+def test_worker_count_and_order_do_not_change_bytes(tmp_path):
+    """{1, 2, 4} workers and a shuffled shard submission order all
+    produce byte-identical stores — generation is embarrassingly
+    parallel with no cross-shard state."""
+    reference = None
+    for label, kwargs in (("w1", dict(num_workers=1)),
+                          ("w2", dict(num_workers=2)),
+                          ("w4", dict(num_workers=4)),
+                          ("shuffled", dict(num_workers=2,
+                                            submit_order=[3, 0, 4, 1, 2]))):
+        root = tmp_path / label
+        generate_shards(root, 36, shard_size=8, seed=13, **kwargs)
+        fingerprint = _store_fingerprint(root)
+        if reference is None:
+            reference = fingerprint
+        else:
+            assert fingerprint == reference, label
+
+
+def test_generate_refuses_to_overwrite(shard_store):
+    with pytest.raises(FileExistsError):
+        generate_shards(shard_store, 8, shard_size=8, seed=0)
+
+
+# ----------------------------------------------------------------------
+# (b) + (c) epoch plans partition the cohort, deterministically
+# ----------------------------------------------------------------------
+
+def test_epoch_plan_partitions_seeded(shard_store):
+    store = ShardedDataset.open(shard_store)
+    for bucket in (False, True):
+        for batch_size in (1, 7, 16, 200):
+            _assert_plan_partitions(store, batch_size, bucket, seed=3)
+            _assert_plan_partitions(store, batch_size, bucket, seed=None)
+
+
+def test_epoch_plan_deterministic_under_seed(shard_store):
+    store = ShardedDataset.open(shard_store)
+    for bucket in (False, True):
+        first = store.epoch_plan(16, np.random.default_rng(9),
+                                 bucket_by_length=bucket)
+        second = store.epoch_plan(16, np.random.default_rng(9),
+                                  bucket_by_length=bucket)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis lane (skipped when hypothesis is unavailable)
+# ----------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+given, settings, strategies = (hypothesis.given, hypothesis.settings,
+                               hypothesis.strategies)
+
+
+@given(num_admissions=strategies.integers(1, 400),
+       shard_size=strategies.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_hypothesis_plan_shards_partition(num_admissions, shard_size):
+    plan = plan_shards(num_admissions, shard_size)
+    assert [shard_id for shard_id, _ in plan] == list(range(len(plan)))
+    assert sum(count for _, count in plan) == num_admissions
+    assert all(0 < count <= shard_size for _, count in plan)
+    # Only the last shard may be short.
+    assert all(count == shard_size for _, count in plan[:-1])
+
+
+@given(batch_size=strategies.integers(1, 40),
+       seed=strategies.integers(0, 2**32 - 1),
+       bucket=strategies.booleans())
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_epoch_plan_partition(shard_store, batch_size, seed,
+                                         bucket):
+    store = ShardedDataset.open(shard_store)
+    _assert_plan_partitions(store, batch_size, bucket, seed)

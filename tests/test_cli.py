@@ -173,6 +173,67 @@ class TestServingCommands:
                  out=io.StringIO())
 
 
+class TestShardCommands:
+    def test_parses_shard_options(self):
+        args = build_parser().parse_args(
+            ["shard", "--out", "store", "--admissions", "100",
+             "--shard-size", "25", "--workers", "2", "--seed", "9"])
+        assert (args.out, args.admissions, args.shard_size,
+                args.workers, args.seed) == ("store", 100, 25, 2, 9)
+        with pytest.raises(SystemExit):   # --admissions is required
+            build_parser().parse_args(["shard", "--out", "store"])
+
+    def test_shard_generates_a_store(self, tmp_path):
+        out = io.StringIO()
+        store = tmp_path / "store"
+        code = main(["shard", "--out", str(store), "--admissions", "48",
+                     "--shard-size", "16", "--seed", "5"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert (store / "manifest.json").exists()
+        assert "admissions    : 48" in text
+        assert "shards        : 3" in text
+
+    def test_stats_reads_manifest_metadata(self, shard_store):
+        out = io.StringIO()
+        code = main(["stats", "--shards", str(shard_store)], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "6 shards" in text
+        assert "admissions                   96" in text
+        assert "missing_rate" in text
+
+    def test_train_streams_from_shards(self, shard_store, tmp_path):
+        run_dir = tmp_path / "run"
+        out = io.StringIO()
+        code = main(["train", "--model", "LR", "--epochs", "1",
+                     "--shards", str(shard_store),
+                     "--run-dir", str(run_dir)], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "shards:" in text
+        assert "AUC-ROC" in text
+        # The persisted standardizer is the train view's (leak-free).
+        assert (run_dir / "standardizer.npz").exists()
+
+    def test_bench_reports_peak_rss_and_writes_json(self, shard_store,
+                                                    tmp_path):
+        out = io.StringIO()
+        code = main(["bench", "--model", "LR", "--epochs", "1",
+                     "--shards", str(shard_store), "--batch-size", "32",
+                     "--out", str(tmp_path)], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "peak RSS" in text
+        assert "steps/sec" in text
+        reports = list(tmp_path.glob("BENCH_shards-LR_*.json"))
+        assert len(reports) == 1
+        import json
+        payload = json.loads(reports[0].read_text())
+        assert payload["num_admissions"] == 96
+        assert payload["max_rss_bytes"] > 0
+
+
 class TestRunDirAndResume:
     def test_parses_run_dir_and_resume(self):
         args = build_parser().parse_args(
