@@ -12,7 +12,7 @@ Python loop over time instead of ``C`` of them.
 
 from __future__ import annotations
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops

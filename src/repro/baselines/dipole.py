@@ -16,7 +16,7 @@ ELDA's β with Dipole_c's weights).
 
 from __future__ import annotations
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops

@@ -14,7 +14,7 @@ consumes ``[x̂_t ; m_t]``.
 
 from __future__ import annotations
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops
@@ -47,17 +47,18 @@ class GRUD(Module, InferenceMixin):
 
     def forward_batch(self, batch):
         values = nn.Tensor(batch.values)                # LOCF-imputed x'
-        mask = batch.mask.astype(float)                 # constant
+        mask = nn.Tensor(batch.mask)                    # constant 0/1
         deltas = nn.Tensor(batch.deltas)
         batch_size, steps, _ = values.shape
 
         h = nn.Tensor(np.zeros((batch_size, self.hidden_size)))
         value_steps = ops.unbind_time(values)
         delta_steps = ops.unbind_time(deltas)
+        mask_steps = ops.unbind_time(mask)
         for t in range(steps):
             delta_t = delta_steps[t]
             v_t = value_steps[t]
-            m_t = nn.Tensor(mask[:, t, :])
+            m_t = mask_steps[t]
             # Input decay toward the (zero) global mean.
             gamma_x = ops.exp(-ops.relu(delta_t * self.input_decay))
             x_hat = m_t * v_t + (1.0 - m_t) * gamma_x * v_t

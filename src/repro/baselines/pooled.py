@@ -13,7 +13,7 @@ mean over time of each feature's values — a 37-dimensional static vector.
 
 from __future__ import annotations
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops
@@ -25,8 +25,12 @@ __all__ = ["LogisticRegression", "FactorizationMachine", "AttentionalFM",
 
 
 def pooled_input(batch):
-    """Mean over time of the standardized, imputed values: (B, C)."""
-    return nn.Tensor(batch.values.mean(axis=1))
+    """Mean over time of the standardized, imputed values: (B, C).
+
+    Routed through :func:`repro.nn.ops.mean` (not raw array math) so the
+    pooling is visible to inference graph capture.
+    """
+    return ops.mean(nn.Tensor(batch.values), axis=1)
 
 
 class LogisticRegression(Module, InferenceMixin):

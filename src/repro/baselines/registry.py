@@ -12,7 +12,7 @@ every model it builds (``model.spec``).
 
 from __future__ import annotations
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from ..core.elda_net import VARIANT_NAMES, build_variant
 from .concare import ConCare

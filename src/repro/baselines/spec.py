@@ -60,8 +60,7 @@ class ModelSpec:
         overwritten by a checkpoint load anyway (the serving path), it
         may be omitted.
         """
-        import numpy as np
-
+        from ..nn.backend import xp as np
         from .registry import build_model
         if rng is None:
             rng = np.random.default_rng(0)

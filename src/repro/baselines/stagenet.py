@@ -13,7 +13,7 @@ substrate emits regular sequences.
 
 from __future__ import annotations
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops

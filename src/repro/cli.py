@@ -47,7 +47,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
+from .nn.backend import xp as np
 
 __all__ = ["main", "build_parser"]
 
@@ -147,6 +147,15 @@ def build_parser():
                        "per-op profiler)")
     bench.add_argument("--val-shards", type=int, default=1, metavar="K",
                        help="with --shards, validation shards to hold out")
+    bench.add_argument("--capture", action="store_true",
+                       help="benchmark inference graph capture instead of "
+                            "training: eager vs replay latency at several "
+                            "batch sizes")
+    bench.add_argument("--batch-sizes", default="1,32,64", metavar="LIST",
+                       help="comma-separated forward batch sizes for the "
+                            "--capture lane")
+    bench.add_argument("--repeats", type=int, default=30,
+                       help="timed iterations per --capture lane")
     bench.add_argument("--unfused", action="store_true",
                        help="run the unfused reference GRU kernels "
                        "(baseline for before/after comparisons)")
@@ -182,6 +191,10 @@ def build_parser():
                          choices=("physionet2012", "mimic3"))
     predict.add_argument("--split", default="test",
                          choices=("train", "validation", "test"))
+    predict.add_argument("--capture", action="store_true", default=None,
+                         help="serve through captured graph replay (also "
+                              "persists the preference into the run dir); "
+                              "default restores the run dir's setting")
     predict.add_argument("--limit", type=int, default=10, metavar="N",
                          help="print at most N rows (0 = all)")
 
@@ -200,6 +213,10 @@ def build_parser():
                        "(repeats exercise the preprocessing cache)")
     serve.add_argument("--max-batch-size", type=int, default=32)
     serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--capture", action="store_true", default=None,
+                       help="serve through captured graph replay (also "
+                            "persists the preference into the run dir); "
+                            "default restores the run dir's setting")
     serve.add_argument("--cache-capacity", type=int, default=4096)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--baseline", action="store_true",
@@ -374,6 +391,8 @@ def _cmd_bench(args, out):
 
     if args.shards:
         return _cmd_bench_shards(args, out)
+    if args.capture:
+        return _cmd_bench_capture(args, out)
     result = benchmark_training(
         model_name=args.model, task=args.task, epochs=args.epochs,
         num_admissions=args.admissions, batch_size=args.batch_size,
@@ -400,6 +419,46 @@ def _cmd_bench(args, out):
         extra["seconds_per_batch"] = result["seconds_per_batch"]
         path = profiler.save(directory=args.out, extra=extra)
         out.write(f"\nreport written to {path}\n")
+    return 0
+
+
+def _cmd_bench_capture(args, out):
+    """``repro bench --capture``: eager vs replay inference latency.
+
+    Captures one graph per batch size, checks bit-identity against the
+    eager forward, and reports median steady-state latency per path.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from .bench.report import _slug
+    from .bench.runner import benchmark_capture
+
+    batch_sizes = tuple(int(b) for b in str(args.batch_sizes).split(",") if b)
+    result = benchmark_capture(
+        model_name=args.model, num_admissions=args.admissions,
+        seed=args.seed, batch_sizes=batch_sizes, repeats=args.repeats,
+        dtype=args.dtype)
+    config = result["config"]
+    out.write(f"{args.model} inference capture ({config['dtype']}, "
+              f"{config['captured_thunks']} replay thunks for "
+              f"{config['captured_steps']} traced ops)\n")
+    out.write("  batch    eager ms   replay ms   speedup\n")
+    for batch_size, lane in sorted(result["lanes"].items()):
+        out.write(f"  {batch_size:>5}  {lane['eager_seconds'] * 1e3:9.3f}  "
+                  f"{lane['replay_seconds'] * 1e3:10.3f}  "
+                  f"{lane['speedup']:6.2f}x\n")
+    if not args.no_json:
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        payload = dict(config)
+        payload["lanes"] = {str(k): v for k, v in result["lanes"].items()}
+        payload["created"] = stamp
+        directory = Path(args.out)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_capture-{_slug(args.model)}_{stamp}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        out.write(f"report written to {path}\n")
     return 0
 
 
@@ -461,7 +520,8 @@ def _cmd_predict(args, out):
     from .data import load_cohort
     from .serve import Predictor
 
-    predictor = Predictor.load(args.run_dir, checkpoint=args.checkpoint)
+    predictor = Predictor.load(args.run_dir, checkpoint=args.checkpoint,
+                               capture=args.capture)
     splits = load_cohort(args.cohort, scale=args.scale)
     dataset = getattr(splits, args.split)
     probabilities = predictor.predict_proba(dataset)
@@ -494,7 +554,7 @@ def _cmd_serve(args, out):
 
     metrics = ServeMetrics(label=f"serve-{Path(args.run_dir).name}")
     predictor = Predictor.load(args.run_dir, checkpoint=args.checkpoint,
-                               metrics=metrics)
+                               metrics=metrics, capture=args.capture)
     standardizer_path = Path(args.run_dir) / "standardizer.npz"
     if not standardizer_path.exists():
         raise SystemExit(f"no standardizer.npz under {args.run_dir}; "

@@ -23,7 +23,7 @@ The ablation variants from Section V-C are provided as drop-in classes:
 
 from __future__ import annotations
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops
@@ -63,18 +63,21 @@ class _NumericEmbedding(Module):
         """
         x = nn.as_tensor(x)
         embedded = self._value_embedding(x)
+        # Both masks below flow through op-layer indicators (not raw
+        # array math) so inference graph capture sees them recompute per
+        # batch; the never-observed routing is branch-free for the same
+        # reason (an all-false where is a bitwise identity).
         if self.star:
-            zero = np.abs(x.data)[..., None] < _ZERO_TOL
+            zero = ops.reshape(ops.abs_lt(x, _ZERO_TOL), x.shape + (1,))
             ones = nn.Tensor(np.ones(embedded.shape))
             embedded = ops.where(zero, ones, embedded)
         if ever_observed is not None:
-            never = ~np.asarray(ever_observed, dtype=bool)
-            if never.any():
-                flag = never[:, None, :, None]
-                missing = self.missing_table.reshape(
-                    1, 1, self.num_features, self.embedding_size)
-                embedded = ops.where(
-                    np.broadcast_to(flag, embedded.shape), missing, embedded)
+            ever = nn.as_tensor(ever_observed)
+            never = ops.reshape(ops.abs_lt(ever, 0.5),
+                                (ever.shape[0], 1, ever.shape[1], 1))
+            missing = self.missing_table.reshape(
+                1, 1, self.num_features, self.embedding_size)
+            embedded = ops.where(never, missing, embedded)
         return embedded
 
 

@@ -22,7 +22,7 @@ paper visualizes in Figures 9–10.
 
 from __future__ import annotations
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops

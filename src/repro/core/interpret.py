@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..data.dataset import iterate_batches

@@ -15,7 +15,7 @@ weights are the time-level interpretability signal of Figure 8.
 
 from __future__ import annotations
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops

@@ -207,8 +207,33 @@ def _write_shard(root, generator_kwargs, seed, shard_id, count, dtype):
     }
 
 
+#: Worker-pool rendezvous state (per process, set by the pool initializer).
+#: With ``sync_workers`` every worker blocks in its *first job* until all
+#: workers hold one — proving each pool process really generates at least
+#: one shard, which makes multi-process smoke tests deterministic instead
+#: of racing a fast worker that could drain the queue alone.
+_WORKER_BARRIER = None
+_WORKER_SYNCED = False
+
+
+def _init_worker_barrier(barrier):
+    global _WORKER_BARRIER, _WORKER_SYNCED
+    _WORKER_BARRIER = barrier
+    _WORKER_SYNCED = False
+
+
 def _write_shard_star(args):
-    return _write_shard(*args)
+    global _WORKER_SYNCED
+    if _WORKER_BARRIER is not None and not _WORKER_SYNCED:
+        _WORKER_SYNCED = True
+        _WORKER_BARRIER.wait()
+    entry = _write_shard(*args)
+    # Transient provenance: which process built this shard.  Popped
+    # before the manifest is written (shard bytes and manifest stay
+    # byte-identical for any worker count) and surfaced as
+    # ``store.generation_pids``.
+    entry["pid"] = os.getpid()
+    return entry
 
 
 def _standardizer_from_entries(entries):
@@ -263,7 +288,8 @@ def _generator_kwargs(profile):
 
 def generate_shards(out_dir, num_admissions, cohort="physionet2012",
                     shard_size=4096, seed=None, num_workers=1,
-                    dtype="float32", submit_order=None):
+                    dtype="float32", submit_order=None,
+                    sync_workers=False):
     """Generate a sharded cohort store under ``out_dir``.
 
     Parameters
@@ -292,6 +318,13 @@ def generate_shards(out_dir, num_admissions, cohort="physionet2012",
     submit_order:
         Optional permutation of shard ids fixing submission order —
         exists so tests can prove order-independence explicitly.
+    sync_workers:
+        With ``num_workers > 1``, rendezvous all pool processes inside
+        their first job so *every* worker provably generates at least
+        one shard (requires at least as many shards as workers).
+        Exists for multi-process smoke tests — output bytes are
+        unaffected.  Per-shard builder pids are surfaced either way as
+        ``store.generation_pids``.
 
     Returns the opened :class:`ShardedDataset`.
     """
@@ -325,11 +358,24 @@ def generate_shards(out_dir, num_admissions, cohort="physionet2012",
 
     if num_workers > 1:
         import multiprocessing
-        with multiprocessing.get_context("fork").Pool(num_workers) as pool:
-            entries = list(pool.imap_unordered(_write_shard_star, jobs))
+        context = multiprocessing.get_context("fork")
+        initializer, initargs = None, ()
+        if sync_workers:
+            if len(jobs) < num_workers:
+                raise ValueError(
+                    f"sync_workers needs at least one shard per worker: "
+                    f"{len(jobs)} shard(s) for {num_workers} workers")
+            initializer = _init_worker_barrier
+            initargs = (context.Barrier(num_workers),)
+        with context.Pool(num_workers, initializer=initializer,
+                          initargs=initargs) as pool:
+            entries = list(pool.imap_unordered(_write_shard_star, jobs,
+                                               chunksize=1))
     else:
         entries = [_write_shard_star(job) for job in jobs]
     entries.sort(key=lambda e: e["shard_id"])
+    generation_pids = {entry["shard_id"]: entry.pop("pid")
+                       for entry in entries}
 
     manifest = {
         "format": MANIFEST_FORMAT,
@@ -348,7 +394,9 @@ def generate_shards(out_dir, num_admissions, cohort="physionet2012",
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
     _standardizer_from_entries(entries).save(out_dir / "standardizer.npz")
-    return ShardedDataset.open(out_dir)
+    store = ShardedDataset.open(out_dir)
+    store.generation_pids = generation_pids
+    return store
 
 
 def regenerate_shard(store_dir, shard_id):

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 from ..baselines import BASELINE_NAMES, build_model

@@ -1,0 +1,65 @@
+"""Low-level tracer hooks for inference graph capture.
+
+The ``@differentiable`` wrapper in :mod:`repro.nn.ops` checks
+:data:`_TRACERS` (a module-level stack of active tracers) and, when
+non-empty, routes op execution through :func:`call_op` so the tracer
+sees every *top-level* op call — composite ops (``min`` is
+``neg∘max∘neg``, ``split`` emits one ``getitem`` per section) are
+recorded once, at the outermost registered call, exactly the unit a
+replay kernel must reproduce.
+
+Mirrors :mod:`repro.bench._hooks`: deliberately imports nothing from
+``repro.nn`` so ``ops`` can import it at module load without a cycle,
+and the fast path when no tracer is active is a single truthiness check
+on a module-level list.
+"""
+
+from __future__ import annotations
+
+__all__ = ["active", "push", "pop", "call_op"]
+
+#: Stack of active tracers (:class:`repro.nn.capture._Tracer`),
+#: innermost last.  Capture never nests in practice, but the stack shape
+#: keeps the discipline identical to the profiler hooks.
+_TRACERS = []
+
+#: Re-entrancy depth: >0 while inside a registered op's forward, so
+#: nested registered calls are not recorded as separate replay steps.
+_DEPTH = 0
+
+
+def active():
+    """Whether any capture tracer is currently recording."""
+    return bool(_TRACERS)
+
+
+def push(tracer):
+    """Activate ``tracer`` (innermost position)."""
+    _TRACERS.append(tracer)
+
+
+def pop(tracer):
+    """Deactivate ``tracer``; must be the innermost one."""
+    if not _TRACERS or _TRACERS[-1] is not tracer:
+        raise RuntimeError("capture tracers must be exited innermost-first")
+    _TRACERS.pop()
+
+
+def call_op(name, fn, args, kwargs):
+    """Execute a registered op's forward, recording top-level calls.
+
+    Each active tracer's ``record(name, args, kwargs, result)`` runs
+    after the op, with the live argument objects and the op's result —
+    the tracer derives buffers and replay thunks from them.
+    """
+    global _DEPTH
+    top_level = _DEPTH == 0
+    _DEPTH += 1
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        _DEPTH -= 1
+    if top_level:
+        for tracer in _TRACERS:
+            tracer.record(name, args, kwargs, result)
+    return result

@@ -14,7 +14,7 @@ Provides the attention building blocks used across the baselines:
 
 from __future__ import annotations
 
-import numpy as np
+from ..backend import xp as np
 
 from .. import init, ops
 from ..module import Module, Parameter

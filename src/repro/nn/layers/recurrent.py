@@ -12,7 +12,7 @@ paths together in both dtype planes.
 
 from __future__ import annotations
 
-import numpy as np
+from ..backend import xp as np
 
 from .. import init, ops
 from ..module import Module, Parameter

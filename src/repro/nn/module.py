@@ -14,7 +14,7 @@ from __future__ import annotations
 import warnings
 from collections import OrderedDict
 
-import numpy as np
+from .backend import xp as np
 
 from .tensor import Tensor
 

@@ -45,15 +45,16 @@ import builtins
 import functools
 from collections import OrderedDict
 
-import numpy as np
+from .backend import xp as np
 
 from ..bench import _hooks as _bench_hooks
+from . import _capture_hooks
 from .tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "power", "matmul", "exp", "log",
     "sqrt", "tanh", "sigmoid", "relu", "leaky_relu", "clip", "abs",
-    "maximum", "minimum", "sum", "mean", "max", "min", "var",
+    "abs_lt", "maximum", "minimum", "sum", "mean", "max", "min", "var",
     "reshape", "transpose", "swapaxes", "getitem", "concat", "stack",
     "split", "unbind_time", "softmax", "log_softmax",
     "softmax_cross_entropy", "where", "dropout_mask", "pad_last",
@@ -118,12 +119,15 @@ def differentiable(sample_factory=None):
     def decorate(fn):
         name = fn.__name__
         active_profilers = _bench_hooks._PROFILERS  # bound once; shared list
+        active_tracers = _capture_hooks._TRACERS    # bound once; shared list
 
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            # Fast path: a single truthiness check when nothing profiles.
+            # Fast path: two truthiness checks when nothing observes.
             if active_profilers:
                 return _bench_hooks.call_op(name, fn, args, kwargs)
+            if active_tracers:
+                return _capture_hooks.call_op(name, fn, args, kwargs)
             return fn(*args, **kwargs)
 
         _REGISTRY[name] = OpSpec(name, wrapper, sample_factory)
@@ -304,6 +308,29 @@ def abs(a):  # noqa: A001 - mirrors numpy naming
     return Tensor._make(np.abs(a.data), (a,), backward)
 
 
+@differentiable(lambda rng: [
+    # Values kept away from the threshold so finite differences see a
+    # locally constant indicator (gradient exactly zero / exactly one
+    # through the product).
+    OpSample(lambda a: sum(mul(a, abs_lt(a, 0.5))),
+             rng.uniform(1.0, 2.0, size=(6,)) * rng.choice([-1.0, 1.0], 6)),
+    OpSample(lambda a: sum(mul(a, abs_lt(a, 5.0))),
+             rng.uniform(1.0, 2.0, size=(6,)) * rng.choice([-1.0, 1.0], 6)),
+])
+def abs_lt(a, threshold):
+    """Indicator ``|a| < threshold`` as a 0/1 tensor of ``a``'s dtype.
+
+    Non-differentiable (zero gradient everywhere, like a constant):
+    exists so mask-style conditions derived from tensor values flow
+    through the op layer — and therefore through graph capture — instead
+    of being computed with raw numpy and baked stale into a trace.
+    """
+    a = as_tensor(a)
+    dt = a.data.dtype
+    out = (np.abs(a.data) < dt.type(threshold)).astype(dt)
+    return Tensor._make(out, (), None)
+
+
 def _tie_samples(rng, op_name):
     """Samples for maximum/minimum: a generic pair plus an exact-tie pair."""
     fn = _REGISTRY[op_name].fn
@@ -392,8 +419,13 @@ def clip(a, low, high):
 def where(condition, a, b):
     """Elementwise select: ``a`` where ``condition`` is true, else ``b``.
 
-    ``condition`` is a constant boolean array, not differentiated through.
+    ``condition`` is not differentiated through: a constant boolean
+    array, or a tensor (e.g. an :func:`abs_lt` indicator) whose non-zero
+    entries select ``a`` — routing dynamic conditions through tensors
+    keeps them visible to graph capture.
     """
+    if isinstance(condition, Tensor):
+        condition = condition.data
     cond = np.asarray(condition, dtype=bool)
     a, b = as_tensor(a), as_tensor(b)
     out_data = np.where(cond, a.data, b.data)

@@ -21,7 +21,7 @@ import time
 from collections import Counter
 from pathlib import Path
 
-import numpy as np
+from ..nn.backend import xp as np
 
 __all__ = ["ServeMetrics"]
 
@@ -42,6 +42,8 @@ class ServeMetrics:
         self._batch_seconds = 0.0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._capture_hits = 0
+        self._capture_fallbacks = 0
         self._started = time.perf_counter()
 
     # -- event sinks ----------------------------------------------------
@@ -63,6 +65,15 @@ class ServeMetrics:
                 self._cache_hits += 1
             else:
                 self._cache_misses += 1
+
+    def record_capture(self, hit):
+        """One capture-enabled forward resolved: replay hit or eager
+        fallback (unsupported model, shape-budget overflow, …)."""
+        with self._lock:
+            if hit:
+                self._capture_hits += 1
+            else:
+                self._capture_fallbacks += 1
 
     # -- derived statistics --------------------------------------------
     @property
@@ -103,6 +114,16 @@ class ServeMetrics:
         return self.latency_quantile(95)
 
     @property
+    def capture_hits(self):
+        with self._lock:
+            return self._capture_hits
+
+    @property
+    def eager_fallbacks(self):
+        with self._lock:
+            return self._capture_fallbacks
+
+    @property
     def cache_hit_rate(self):
         with self._lock:
             total = self._cache_hits + self._cache_misses
@@ -120,6 +141,8 @@ class ServeMetrics:
             latencies = list(self._request_latencies)
             histogram = dict(sorted(self._batch_sizes.items()))
             cache_hits, cache_misses = self._cache_hits, self._cache_misses
+            capture_hits = self._capture_hits
+            capture_fallbacks = self._capture_fallbacks
             batch_seconds = self._batch_seconds
         total_batches = sum(histogram.values())
         payload = {
@@ -143,6 +166,10 @@ class ServeMetrics:
                 "hit_rate": (cache_hits / (cache_hits + cache_misses)
                              if cache_hits + cache_misses else 0.0),
             },
+            "capture": {
+                "hits": capture_hits,
+                "eager_fallbacks": capture_fallbacks,
+            },
         }
         if extra:
             payload["extra"] = dict(extra)
@@ -162,6 +189,11 @@ class ServeMetrics:
             f"({payload['cache']['hits']} hits / "
             f"{payload['cache']['misses']} misses)",
         ]
+        capture = payload["capture"]
+        if capture["hits"] or capture["eager_fallbacks"]:
+            lines.append(
+                f"capture         : {capture['hits']} replay hits / "
+                f"{capture['eager_fallbacks']} eager fallbacks")
         if histogram:
             spread = "  ".join(f"{size}x{count}"
                                for size, count in histogram.items())

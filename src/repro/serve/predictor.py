@@ -32,7 +32,7 @@ import json
 from pathlib import Path
 from time import perf_counter
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from ..data.dataset import EMRDataset
 
@@ -91,9 +91,24 @@ class Predictor:
     metrics:
         Optional :class:`~repro.serve.ServeMetrics` sink; every forward
         batch is recorded into it.
+    capture:
+        Route forwards through inference graph capture
+        (:func:`repro.nn.capture.trace`): the first forward at each
+        batch shape traces a replayable graph, later same-shape
+        forwards replay it with no autodiff bookkeeping —
+        bit-identical to the eager forward.  Models whose forwards are
+        not capture-safe (trace validation fails) fall back to eager
+        serving permanently; per-forward hits and fallbacks land in
+        ``metrics`` (``record_capture``).
+    max_captures:
+        Shape budget: at most this many distinct batch shapes get their
+        own captured graph; further shapes are served eagerly.  Bulk
+        prediction needs two (the chunk size and the remainder), the
+        micro-batcher needs one (``pad_to`` pins the shape).
     """
 
-    def __init__(self, model, batch_size=64, spec=None, metrics=None):
+    def __init__(self, model, batch_size=64, spec=None, metrics=None,
+                 capture=False, max_captures=8):
         for method in ("predict_logits", "predict_proba"):
             if not callable(getattr(model, method, None)):
                 raise TypeError(
@@ -106,6 +121,10 @@ class Predictor:
             raise ValueError("batch_size must be >= 1")
         self.spec = spec if spec is not None else getattr(model, "spec", None)
         self.metrics = metrics
+        self.capture = bool(capture)
+        self.max_captures = int(max_captures)
+        self._graphs = {}
+        self._capture_broken = False
 
     # ------------------------------------------------------------------
     # Input validation
@@ -162,13 +181,60 @@ class Predictor:
             if n > pad_to:
                 raise ValueError(f"batch of {n} rows exceeds pad_to={pad_to}")
             started = perf_counter()
-            logits = self.model.predict_logits(_pad_rows(batch, pad_to))[:n]
+            logits = self._forward(_pad_rows(batch, pad_to))[:n]
         else:
             started = perf_counter()
-            logits = self.model.predict_logits(batch)
+            logits = self._forward(batch)
         if self.metrics is not None:
             self.metrics.record_batch(n, perf_counter() - started)
         return logits
+
+    def _forward(self, batch):
+        """One full-batch forward: captured replay when enabled, else eager."""
+        if self.capture:
+            from ..nn import capture as nn_capture
+
+            graph = None if self._capture_broken else self._graph_for(batch)
+            if graph is not None:
+                try:
+                    logits = graph.replay(batch)
+                except nn_capture.CaptureError:
+                    # Invalidated (parameter storage swap, dtype-policy
+                    # change): drop stale graphs; next forward re-traces.
+                    self._graphs.clear()
+                else:
+                    if self.metrics is not None:
+                        self.metrics.record_capture(hit=True)
+                    return logits
+            if self.metrics is not None:
+                self.metrics.record_capture(hit=False)
+        return self.model.predict_logits(batch)
+
+    def _graph_for(self, batch):
+        """Captured graph for this batch's shape, tracing on first use.
+
+        Returns ``None`` — eager fallback — when the model failed trace
+        validation earlier, or the shape budget is spent on other
+        shapes.  A model-level :class:`~repro.nn.capture.CaptureError`
+        (unsupported forward, replaced parameter storage) marks capture
+        broken for good rather than re-tracing every call.
+        """
+        from ..nn import capture as nn_capture
+
+        key = tuple(np.asarray(getattr(batch, f)).shape
+                    for f in nn_capture._INPUT_FIELDS)
+        graph = self._graphs.get(key)
+        if graph is not None:
+            return graph
+        if len(self._graphs) >= self.max_captures:
+            return None
+        try:
+            graph = nn_capture.trace(self.model, batch)
+        except nn_capture.CaptureError:
+            self._capture_broken = True
+            return None
+        self._graphs[key] = graph
+        return graph
 
     def predict_proba(self, batch, pad_to=None):
         """Predicted probabilities, chunked at the bulk batch size.
@@ -198,7 +264,7 @@ class Predictor:
     # Loading from run directories
     # ------------------------------------------------------------------
     @classmethod
-    def load(cls, run_dir, checkpoint="best", metrics=None):
+    def load(cls, run_dir, checkpoint="best", metrics=None, capture=None):
         """Rebuild a predictor from a training run directory.
 
         Parameters
@@ -210,6 +276,12 @@ class Predictor:
         checkpoint:
             ``"best"`` (best-on-validation; falls back to ``"last"``
             when no best snapshot exists) or ``"last"``.
+        capture:
+            ``None`` (default) restores the run directory's persisted
+            serving preference (``config.json`` → ``serve.capture``,
+            off when absent).  An explicit ``True``/``False`` both
+            applies *and persists* the choice, so later loads of the
+            same run directory keep it.
 
         The model is rebuilt under the *current* precision policy
         (:func:`repro.nn.get_default_dtype`); a checkpoint stored in a
@@ -246,10 +318,21 @@ class Predictor:
             raise FileNotFoundError(f"no checkpoint weights under "
                                     f"{run_dir / 'checkpoints'}")
         load_weights(model, weights)
+
+        serve_config = config.get("serve") or {}
+        if capture is None:
+            capture = bool(serve_config.get("capture", False))
+        elif bool(capture) != serve_config.get("capture"):
+            serve_config["capture"] = bool(capture)
+            config["serve"] = serve_config
+            config_path.write_text(
+                json.dumps(config, indent=2, sort_keys=True) + "\n")
+
         return cls(model, batch_size=int(config.get("batch_size", 64)),
-                   spec=spec, metrics=metrics)
+                   spec=spec, metrics=metrics, capture=capture)
 
 
-def load_predictor(run_dir, checkpoint="best", metrics=None):
+def load_predictor(run_dir, checkpoint="best", metrics=None, capture=None):
     """Module-level alias for :meth:`Predictor.load`."""
-    return Predictor.load(run_dir, checkpoint=checkpoint, metrics=metrics)
+    return Predictor.load(run_dir, checkpoint=checkpoint, metrics=metrics,
+                          capture=capture)

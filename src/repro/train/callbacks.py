@@ -29,7 +29,7 @@ import json
 import time
 import warnings
 
-import numpy as np
+from ..nn.backend import xp as np
 
 from .. import nn
 

@@ -1,0 +1,46 @@
+"""Capture-replay perf floor (``pytest -m bench``).
+
+The serving-side counterpart of the training perf-smoke lane:
+benchmarks the captured-replay forward against the eager forward for
+the floor-file model and fails when the batch-1 speedup drops below the
+recorded floor — e.g. if replay starts re-allocating per call, or the
+kernels stop hitting their preallocated buffers.  The floor is
+deliberately below the measured speedup (see BENCH_8.json) so shared-
+machine noise does not flake the lane; see docs/PERFORMANCE.md for the
+floor-update protocol.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import benchmark_capture
+
+pytestmark = pytest.mark.bench
+
+FLOOR_PATH = (Path(__file__).resolve().parents[2]
+              / "benchmarks" / "results" / "perf_floor.json")
+
+
+@pytest.fixture(scope="module")
+def capture_floor():
+    return json.loads(FLOOR_PATH.read_text())["capture"]
+
+
+def test_batch1_replay_speedup_above_floor(capture_floor):
+    spec = capture_floor["benchmark"]
+    result = benchmark_capture(
+        model_name=spec["model"], num_admissions=spec["num_admissions"],
+        seed=spec["seed"], batch_sizes=(spec["batch_size"],),
+        repeats=spec["repeats"], dtype=spec["dtype"])
+    lane = result["lanes"][spec["batch_size"]]
+    floor = capture_floor["floor_speedup"]
+    assert lane["speedup"] >= floor, (
+        f"capture-replay regression: batch-{spec['batch_size']} speedup "
+        f"{lane['speedup']:.2f}x is below the recorded floor of "
+        f"{floor:.2f}x (measured: {capture_floor['measured_speedup']:.2f}x, "
+        f"eager {lane['eager_seconds'] * 1e3:.2f} ms vs replay "
+        f"{lane['replay_seconds'] * 1e3:.2f} ms). If this machine is "
+        f"genuinely slower, re-measure and update {FLOOR_PATH.name}; "
+        "see docs/PERFORMANCE.md.")

@@ -16,6 +16,7 @@ mirroring tests/train/test_bucketing_properties.py).
 """
 
 import json
+import os
 import shutil
 
 import numpy as np
@@ -90,6 +91,29 @@ def test_worker_count_and_order_do_not_change_bytes(tmp_path):
             reference = fingerprint
         else:
             assert fingerprint == reference, label
+
+
+def test_multiprocess_generation_smoke(tmp_path):
+    """``num_workers=2`` with ``sync_workers`` provably runs in more
+    than one process — every shard records its builder pid, at least
+    two distinct child pids appear, and none is the parent — while the
+    store stays byte-identical to single-process generation."""
+    parallel = generate_shards(tmp_path / "w2", 36, shard_size=8, seed=13,
+                               num_workers=2, sync_workers=True)
+    pids = parallel.generation_pids
+    assert set(pids) == {e["shard_id"] for e in parallel.entries}
+    assert len(set(pids.values())) >= 2, (
+        f"expected >1 worker process, saw pids {sorted(set(pids.values()))}")
+    assert os.getpid() not in pids.values()
+
+    serial = generate_shards(tmp_path / "w1", 36, shard_size=8, seed=13)
+    assert set(serial.generation_pids.values()) == {os.getpid()}
+    assert _store_fingerprint(tmp_path / "w2") \
+        == _store_fingerprint(tmp_path / "w1")
+
+    with pytest.raises(ValueError, match="at least one shard per worker"):
+        generate_shards(tmp_path / "starved", 8, shard_size=8, seed=13,
+                        num_workers=4, sync_workers=True)
 
 
 def test_generate_refuses_to_overwrite(shard_store):

@@ -1,0 +1,192 @@
+"""Inference graph capture: bit-identity, invalidation, validation.
+
+The load-bearing guarantee is absolute: for every registry model,
+under both precision-policy dtypes, ``CapturedGraph.replay`` must be
+*bit-identical* (``np.array_equal``, not allclose) to the eager
+``predict_logits`` — on the traced batch and on fresh batches of the
+same shape.  The remaining tests pin the failure modes: shape-pinned
+replay (:class:`CaptureShapeError`), policy/storage invalidation
+(:class:`CaptureError`), and trace validation catching forwards that
+compute outside the op layer or bake batch data into constants
+(:class:`CaptureUnsupportedError`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_MODEL_NAMES, build_model
+from repro.data import NUM_FEATURES
+from repro.nn import capture, ops
+from repro.nn.dtype import autocast
+
+from tests.baselines.test_registry import SMALL_KWARGS
+
+
+def _small_model(name, dtype, seed=0):
+    with autocast(dtype):
+        return build_model(name, NUM_FEATURES, np.random.default_rng(seed),
+                           **SMALL_KWARGS[name])
+
+
+# ----------------------------------------------------------------------
+# Bit-identity across the whole registry, both precision planes
+# ----------------------------------------------------------------------
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_replay_matches_eager_exactly(self, name, dtype, tiny_dataset):
+        model = _small_model(name, dtype)
+        traced_batch = tiny_dataset.subset(np.arange(5))
+        fresh_batch = tiny_dataset.subset(np.arange(7, 12))
+        with autocast(dtype):
+            graph = capture.trace(model, traced_batch)
+            for batch in (traced_batch, fresh_batch):
+                eager = model.predict_logits(batch)
+                replayed = graph.replay(batch)
+                assert replayed.dtype == eager.dtype
+                assert np.array_equal(eager, replayed), (
+                    f"{name} replay diverges from eager under {dtype}")
+
+    def test_replay_is_reusable_and_allocates_no_graph(self, tiny_dataset):
+        model = _small_model("ELDA-Net", "float32")
+        batch = tiny_dataset.subset(np.arange(4))
+        with autocast("float32"):
+            graph = capture.trace(model, batch)
+            first = graph.replay(batch)
+            second = graph.replay(batch)
+        # fresh output array per call, identical contents
+        assert first is not second
+        assert np.array_equal(first, second)
+        assert graph.num_thunks <= graph.num_steps
+        assert graph.batch_shape["values"] == batch.values.shape
+
+    def test_inplace_weight_updates_flow_through(self, tiny_dataset):
+        """Optimizer-style in-place updates need no re-trace."""
+        model = _small_model("GRU", "float32")
+        batch = tiny_dataset.subset(np.arange(3))
+        with autocast("float32"):
+            graph = capture.trace(model, batch)
+            for _, param in model.named_parameters():
+                param.data += np.float32(0.01)
+            assert np.array_equal(model.predict_logits(batch),
+                                  graph.replay(batch))
+
+
+# ----------------------------------------------------------------------
+# Invalidation: shape pinning, policy changes, storage swaps
+# ----------------------------------------------------------------------
+
+class TestInvalidation:
+    @pytest.fixture()
+    def traced(self, tiny_dataset):
+        model = _small_model("GRU", "float32")
+        batch = tiny_dataset.subset(np.arange(4))
+        with autocast("float32"):
+            graph = capture.trace(model, batch)
+        return model, graph, batch
+
+    def test_shape_mismatch_raises_capture_shape_error(self, traced,
+                                                       tiny_dataset):
+        _, graph, _ = traced
+        wrong = tiny_dataset.subset(np.arange(6))
+        with autocast("float32"), \
+                pytest.raises(capture.CaptureShapeError,
+                              match="shape-pinned"):
+            graph.replay(wrong)
+
+    def test_dtype_policy_change_raises(self, traced):
+        _, graph, batch = traced
+        with autocast("float64"), \
+                pytest.raises(capture.CaptureError,
+                              match="captured under float32"):
+            graph.replay(batch)
+
+    def test_parameter_storage_swap_raises(self, traced):
+        model, graph, batch = traced
+        param = next(tensor for _, tensor in model.named_parameters())
+        param.data = param.data.copy()  # e.g. Module.to()
+        with autocast("float32"), \
+                pytest.raises(capture.CaptureError,
+                              match="storage replacement requires"):
+            graph.replay(batch)
+
+
+# ----------------------------------------------------------------------
+# Trace validation: forwards that cannot be captured fail loudly
+# ----------------------------------------------------------------------
+
+class _OffLayerModel:
+    """Computes its output with raw numpy — no op ever records it."""
+
+    def named_parameters(self):
+        return iter(())
+
+    def predict_logits(self, batch):
+        return np.asarray(batch.values).sum(axis=(1, 2))
+
+
+class _DataBakingModel:
+    """Bakes a batch statistic into an op argument as a literal."""
+
+    def named_parameters(self):
+        return iter(())
+
+    def predict_logits(self, batch):
+        scale = float(np.asarray(batch.values).sum())
+        out = ops.mul(ops.as_tensor(batch.values), scale)
+        return ops.sum(ops.sum(out, axis=-1), axis=-1).data
+
+
+class TestTraceValidation:
+    def test_output_outside_op_layer_is_rejected(self, tiny_dataset):
+        batch = tiny_dataset.subset(np.arange(3))
+        with pytest.raises(capture.CaptureUnsupportedError,
+                           match="outside the op layer"):
+            capture.trace(_OffLayerModel(), batch)
+
+    def test_batch_dependent_constants_are_rejected(self, tiny_dataset):
+        batch = tiny_dataset.subset(np.arange(3))
+        with pytest.raises(capture.CaptureUnsupportedError,
+                           match="batch-dependent"):
+            capture.trace(_DataBakingModel(), batch)
+
+    def test_validation_can_be_skipped_for_known_safe_models(
+            self, tiny_dataset):
+        """validate=False still yields a working graph (one trace)."""
+        model = _small_model("LR", "float32")
+        batch = tiny_dataset.subset(np.arange(3))
+        with autocast("float32"):
+            graph = capture.trace(model, batch, validate=False)
+            assert np.array_equal(model.predict_logits(batch),
+                                  graph.replay(batch))
+
+    def test_nested_capture_is_rejected(self, tiny_dataset):
+        model = _small_model("LR", "float32")
+        batch = tiny_dataset.subset(np.arange(3))
+
+        class _Reentrant:
+            def named_parameters(self):
+                return iter(())
+
+            def predict_logits(self, inner):
+                capture.trace(model, inner)
+
+        with autocast("float32"), \
+                pytest.raises(capture.CaptureError, match="inside another"):
+            capture.trace(_Reentrant(), batch)
+
+
+# ----------------------------------------------------------------------
+# CaptureBatch plumbing
+# ----------------------------------------------------------------------
+
+class TestCaptureBatch:
+    def test_from_batch_casts_and_copies(self, tiny_dataset):
+        src = tiny_dataset.subset(np.arange(2))
+        cb = capture.CaptureBatch.from_batch(src, np.float32)
+        assert len(cb) == 2
+        for field in ("values", "mask", "deltas", "ever_observed"):
+            arr = getattr(cb, field)
+            assert arr.dtype == np.float32
+            assert arr is not getattr(src, field)

@@ -38,6 +38,16 @@ class TestAccounting:
         metrics.record_cache(hit=False)
         assert metrics.cache_hit_rate == pytest.approx(2 / 3)
 
+    def test_capture_counters(self):
+        metrics = ServeMetrics()
+        assert metrics.capture_hits == 0
+        assert metrics.eager_fallbacks == 0
+        metrics.record_capture(hit=True)
+        metrics.record_capture(hit=True)
+        metrics.record_capture(hit=False)
+        assert metrics.capture_hits == 2
+        assert metrics.eager_fallbacks == 1
+
     def test_empty_metrics_are_all_zero(self):
         metrics = ServeMetrics()
         assert metrics.request_count == 0
@@ -76,6 +86,8 @@ class TestReporting:
         metrics.record_request(0.015)
         metrics.record_cache(hit=True)
         metrics.record_cache(hit=False)
+        metrics.record_capture(hit=True)
+        metrics.record_capture(hit=False)
         return metrics
 
     def test_as_dict_schema(self):
@@ -87,6 +99,7 @@ class TestReporting:
         assert payload["mean_batch_size"] == 4.0
         assert payload["latency_seconds"]["max"] == pytest.approx(0.015)
         assert payload["cache"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+        assert payload["capture"] == {"hits": 1, "eager_fallbacks": 1}
         assert payload["extra"] == {"clients": 2}
 
     def test_table_mentions_the_headline_numbers(self):
@@ -94,6 +107,10 @@ class TestReporting:
         assert "requests        : 2" in table
         assert "cache hit rate  : 50.0%" in table
         assert "4x2" in table
+        assert "1 replay hits / 1 eager fallbacks" in table
+
+    def test_table_omits_capture_line_when_unused(self):
+        assert "replay hits" not in ServeMetrics().table()
 
     def test_save_writes_versioned_json(self, tmp_path):
         path = self._populated().save(tmp_path, extra={"note": "x"},
