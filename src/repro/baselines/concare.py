@@ -46,19 +46,34 @@ class PerFeatureGRU(Module):
     def forward(self, values):
         batch, steps, _ = values.shape
         # State laid out (C, B, H) so the stacked matmul batches over C.
-        h = nn.Tensor(np.zeros((self.num_features, batch, self.hidden_size)))
+        h = self.initial_state(batch)
         for x_t in ops.unbind_time(values):              # each (B, C)
-            x_t = x_t.transpose().reshape(self.num_features, batch, 1)
-            gates_x = ops.matmul(x_t, self.w_ih) + self.bias.reshape(
-                self.num_features, 1, 3 * self.hidden_size)
-            gates_h = ops.matmul(h, self.w_hh)           # (C, B, 3H)
-            zx, rx, nx = ops.split(gates_x, 3, axis=-1)
-            zh, rh, nh = ops.split(gates_h, 3, axis=-1)
-            update = ops.sigmoid(zx + zh)
-            reset = ops.sigmoid(rx + rh)
-            candidate = ops.tanh(nx + reset * nh)
-            h = update * h + (1.0 - update) * candidate
+            h = self.stream_step(h, x_t)
         return h.transpose((1, 0, 2))                    # (B, C, H)
+
+    # -- streaming inference (serve tier) ------------------------------
+    def initial_state(self, batch_size):
+        """Zero stacked state ``(C, B, H)`` for :meth:`stream_step`."""
+        return nn.Tensor(np.zeros(
+            (self.num_features, batch_size, self.hidden_size)))
+
+    def stream_step(self, h, x_t):
+        """One stacked per-feature GRU step — the loop body verbatim.
+
+        ``x_t`` is a ``(B, C)`` tensor; returns the new ``(C, B, H)``
+        state.  Same ops, same shapes as one :meth:`forward` iteration.
+        """
+        batch = x_t.shape[0]
+        x_t = x_t.transpose().reshape(self.num_features, batch, 1)
+        gates_x = ops.matmul(x_t, self.w_ih) + self.bias.reshape(
+            self.num_features, 1, 3 * self.hidden_size)
+        gates_h = ops.matmul(h, self.w_hh)
+        zx, rx, nx = ops.split(gates_x, 3, axis=-1)
+        zh, rh, nh = ops.split(gates_h, 3, axis=-1)
+        update = ops.sigmoid(zx + zh)
+        reset = ops.sigmoid(rx + rh)
+        candidate = ops.tanh(nx + reset * nh)
+        return update * h + (1.0 - update) * candidate
 
 
 class ConCare(Module, InferenceMixin):
@@ -84,3 +99,22 @@ class ConCare(Module, InferenceMixin):
         flat = attended.reshape(attended.shape[0],
                                 self.num_features * self.feature_hidden)
         return (ops.matmul(flat, self.weight) + self.bias).reshape(-1)
+
+    # -- streaming inference (serve tier) ------------------------------
+    stream_native = True
+
+    def stream_begin(self, batch_size):
+        return {"h": self.encoder.initial_state(batch_size)}
+
+    def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
+        """Fully O(1) per step: the per-feature recurrence advances once
+        and the cross-feature attention head is constant in sequence
+        length (it attends over features, not time).
+        """
+        h = self.encoder.stream_step(state["h"], nn.Tensor(values_t))
+        summaries = h.transpose((1, 0, 2))                  # (B, C, H)
+        attended = self.attention(summaries)
+        flat = attended.reshape(attended.shape[0],
+                                self.num_features * self.feature_hidden)
+        logits = (ops.matmul(flat, self.weight) + self.bias).reshape(-1)
+        return {"h": h}, logits

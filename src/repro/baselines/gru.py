@@ -45,3 +45,30 @@ class GRUClassifier(Module, InferenceMixin):
         lengths = sequence_lengths(batch.mask) if self.mask_aware else None
         last = self.encoder(nn.Tensor(batch.values), lengths=lengths)
         return (ops.matmul(last, self.weight) + self.bias).reshape(-1)
+
+    # -- streaming inference (serve tier) ------------------------------
+    stream_native = True
+
+    def stream_begin(self, batch_size):
+        h = self.encoder.initial_state(batch_size)
+        return {"h": h, "visible": h, "steps": 0}
+
+    def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
+        """O(1) per-observation update; see :class:`~repro.nn.InferenceMixin`.
+
+        The hidden state advances through every step (matching the
+        padded recurrence); with ``mask_aware=True`` the *reported*
+        state is a snapshot taken at each row's last observed step —
+        the same state the fused scan freezes at ``sequence_lengths``,
+        which clamp to a minimum of one step.
+        """
+        h = self.encoder.stream_step(values_t, state["h"])
+        steps = state["steps"] + 1
+        if not self.mask_aware or steps == 1 or mask_t is None:
+            visible = h
+        else:
+            observed = np.asarray(mask_t).any(axis=1)
+            visible = np.where(observed[:, None], h, state["visible"])
+        logits = np.matmul(visible, self.weight.data) + self.bias.data
+        return ({"h": h, "visible": visible, "steps": steps},
+                logits.reshape(-1))

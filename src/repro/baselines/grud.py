@@ -67,3 +67,32 @@ class GRUD(Module, InferenceMixin):
                 ops.matmul(delta_t, self.hidden_decay_w) + self.hidden_decay_b))
             h = self.cell(ops.concat([x_hat, m_t], axis=-1), gamma_h * h)
         return (ops.matmul(h, self.weight) + self.bias).reshape(-1)
+
+    # -- streaming inference (serve tier) ------------------------------
+    stream_native = True
+
+    def stream_begin(self, batch_size):
+        return {"h": nn.Tensor(np.zeros((batch_size, self.hidden_size)))}
+
+    def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
+        """One decayed GRU-D update — the per-step loop body verbatim.
+
+        Runs the same tensor ops as :meth:`forward_batch` on one
+        timestep slice (the caller holds ``eval()`` + ``no_grad``), so
+        the streamed logits match the full forward at every prefix
+        bit-for-bit.
+        """
+        n, channels = np.asarray(values_t).shape
+        v_t = nn.Tensor(values_t)
+        m_t = nn.Tensor(np.ones((n, channels), dtype=bool)
+                        if mask_t is None else mask_t)
+        delta_t = nn.Tensor(np.zeros((n, channels))
+                            if deltas_t is None else deltas_t)
+        gamma_x = ops.exp(-ops.relu(delta_t * self.input_decay))
+        x_hat = m_t * v_t + (1.0 - m_t) * gamma_x * v_t
+        gamma_h = ops.exp(-ops.relu(
+            ops.matmul(delta_t, self.hidden_decay_w) + self.hidden_decay_b))
+        h = self.cell(ops.concat([x_hat, m_t], axis=-1),
+                      gamma_h * state["h"])
+        logits = (ops.matmul(h, self.weight) + self.bias).reshape(-1)
+        return {"h": h}, logits

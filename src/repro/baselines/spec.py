@@ -12,6 +12,8 @@ directory without guessing constructor arguments
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 __all__ = ["ModelSpec"]
@@ -45,6 +47,17 @@ class ModelSpec:
             "num_features": int(self.num_features),
             "hyperparameters": dict(self.hyperparameters),
         }
+
+    def fingerprint(self):
+        """Short stable digest of the spec (replica-consistency checks).
+
+        The :class:`~repro.serve.ReplicaPool` startup handshake compares
+        every worker's fingerprint: two processes that rebuilt the same
+        name/features/hyperparameters agree, anything else fails loudly.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
     @classmethod
     def from_dict(cls, payload):

@@ -62,3 +62,32 @@ class StageNet(Module, InferenceMixin):
         pooled = ops.sum(weights * patterns, axis=1)                # (B,K)
         fused = ops.concat([pooled, h], axis=-1)
         return (ops.matmul(fused, self.weight) + self.bias).reshape(-1)
+
+    # -- streaming inference (serve tier) ------------------------------
+    stream_native = True
+
+    def stream_begin(self, batch_size):
+        return {
+            "h": nn.Tensor(np.zeros((batch_size, self.hidden_size))),
+            "c": nn.Tensor(np.zeros((batch_size, self.hidden_size))),
+            "states": [],
+        }
+
+    def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
+        """Stage-aware recurrence in O(1); head recomputed over the
+        stored trajectory (O(t) — inherent to the conv+attention pool,
+        which reweights *all* past patterns each step).  Ops and shapes
+        match :meth:`forward_batch` on the same prefix exactly.
+        """
+        x_t = nn.Tensor(values_t)
+        h, c = self.cell(x_t, (state["h"], state["c"]))
+        stage = self.stage_gate(ops.concat([h, x_t], axis=-1))
+        c = stage * c
+        states = state["states"] + [h]
+        trajectory = ops.stack(states, axis=1)
+        patterns = self.conv(trajectory)
+        weights = ops.softmax(self.attn(patterns), axis=1)
+        pooled = ops.sum(weights * patterns, axis=1)
+        fused = ops.concat([pooled, h], axis=-1)
+        logits = (ops.matmul(fused, self.weight) + self.bias).reshape(-1)
+        return {"h": h, "c": c, "states": states}, logits

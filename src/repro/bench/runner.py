@@ -27,9 +27,9 @@ from ..nn.layers import GRUCell
 from ..train import Trainer
 from .profiler import profile
 
-__all__ = ["benchmark_capture", "benchmark_cohort", "benchmark_training",
-           "benchmark_sharded_training", "max_rss_bytes", "set_fused",
-           "set_fused_scan"]
+__all__ = ["benchmark_capture", "benchmark_cohort", "benchmark_streaming",
+           "benchmark_training", "benchmark_sharded_training",
+           "max_rss_bytes", "set_fused", "set_fused_scan"]
 
 
 def max_rss_bytes():
@@ -249,6 +249,90 @@ def benchmark_capture(model_name="ELDA-Net", num_admissions=64, seed=0,
         "captured_steps": graph.num_steps,
     }
     return {"config": config, "lanes": lanes}
+
+
+def benchmark_streaming(model_name="GRU", num_admissions=64, seed=0,
+                        num_steps=48, repeats=5, dtype=None):
+    """Full-recompute vs streaming per-observation inference latency.
+
+    The monitoring workload scores an admission again after every new
+    hourly observation.  The *recompute* lane runs a full
+    ``predict_logits`` over the growing prefix at each step (what the
+    batch serving path costs, O(t) recurrence per observation); the
+    *streaming* lane feeds the same observations through one
+    :class:`~repro.serve.StreamingSession` (O(1) state update for
+    natively streaming models).  Both lanes score the identical
+    ``num_steps`` observations of one admission, ``repeats`` times;
+    the reported per-step latency is the overall mean, and the lanes'
+    probabilities are verified bit-identical at every prefix first.
+
+    Returns ``{"config": ..., "recompute_seconds_per_step": ...,
+    "streaming_seconds_per_step": ..., "speedup": ..., "native": ...}``;
+    the ``repro bench --streaming`` CLI lane persists it as
+    ``BENCH_*.json``.
+    """
+    from ..metrics.probability import sigmoid_probs, softmax_probs
+    from ..nn.dtype import autocast, get_default_dtype, resolve_dtype
+    from ..serve import Predictor, StreamingSession
+
+    resolved = (resolve_dtype(dtype) if dtype is not None
+                else get_default_dtype())
+    with autocast(resolved):
+        splits = benchmark_cohort(num_admissions=num_admissions, seed=seed)
+        model = build_model(model_name, NUM_FEATURES,
+                            np.random.default_rng(seed))
+        predictor = Predictor(model)
+        row = splits.test.subset([0])
+        num_steps = min(num_steps, row.num_time_steps)
+
+        def prefix_probs(t):
+            logits = predictor.predict_logits(row.truncate(t))
+            return (sigmoid_probs(logits) if logits.ndim == 1
+                    else softmax_probs(logits))
+
+        session = predictor.start_stream()
+        for t in range(1, num_steps + 1):
+            streamed = session.step(row.values[:, t - 1], row.mask[:, t - 1],
+                                    row.deltas[:, t - 1])
+            if not np.array_equal(streamed, prefix_probs(t)):
+                raise AssertionError(
+                    f"streamed {model_name} probabilities diverge from the "
+                    f"full forward at prefix {t}")
+
+        recompute_seconds = 0.0
+        streaming_seconds = 0.0
+        for _ in range(repeats):
+            started = perf_counter()
+            for t in range(1, num_steps + 1):
+                prefix_probs(t)
+            recompute_seconds += perf_counter() - started
+
+            session = predictor.start_stream()
+            started = perf_counter()
+            for t in range(1, num_steps + 1):
+                session.step(row.values[:, t - 1], row.mask[:, t - 1],
+                             row.deltas[:, t - 1])
+            streaming_seconds += perf_counter() - started
+
+    total_steps = repeats * num_steps
+    recompute = recompute_seconds / total_steps
+    streaming = streaming_seconds / total_steps
+    return {
+        "config": {
+            "model": model_name,
+            "num_admissions": num_admissions,
+            "seed": seed,
+            "num_steps": num_steps,
+            "repeats": repeats,
+            "dtype": np.dtype(resolved).name,
+            "num_parameters": model.num_parameters(),
+        },
+        "native": bool(getattr(model, "stream_native", False)),
+        "recompute_seconds_per_step": recompute,
+        "streaming_seconds_per_step": streaming,
+        "speedup": (recompute / streaming if streaming > 0
+                    else float("inf")),
+    }
 
 
 def benchmark_sharded_training(shards_dir, model_name="GRU",

@@ -147,6 +147,10 @@ def build_parser():
                        "per-op profiler)")
     bench.add_argument("--val-shards", type=int, default=1, metavar="K",
                        help="with --shards, validation shards to hold out")
+    bench.add_argument("--streaming", action="store_true",
+                       help="benchmark streaming inference (full prefix "
+                            "recompute vs StreamingSession.step per "
+                            "observation) instead of training")
     bench.add_argument("--capture", action="store_true",
                        help="benchmark inference graph capture instead of "
                             "training: eager vs replay latency at several "
@@ -191,10 +195,12 @@ def build_parser():
                          choices=("physionet2012", "mimic3"))
     predict.add_argument("--split", default="test",
                          choices=("train", "validation", "test"))
-    predict.add_argument("--capture", action="store_true", default=None,
-                         help="serve through captured graph replay (also "
-                              "persists the preference into the run dir); "
-                              "default restores the run dir's setting")
+    predict.add_argument("--capture", nargs="?", const="on",
+                         choices=("on", "off", "auto"), default="auto",
+                         help="captured graph replay: 'on'/'off' force and "
+                              "persist the preference into the run dir; "
+                              "'auto' (default) restores the run dir's "
+                              "setting; bare --capture means 'on'")
     predict.add_argument("--limit", type=int, default=10, metavar="N",
                          help="print at most N rows (0 = all)")
 
@@ -211,13 +217,19 @@ def build_parser():
     serve.add_argument("--pool", type=int, default=64,
                        help="distinct admissions in the request stream "
                        "(repeats exercise the preprocessing cache)")
-    serve.add_argument("--max-batch-size", type=int, default=32)
-    serve.add_argument("--max-wait-ms", type=float, default=2.0)
-    serve.add_argument("--capture", action="store_true", default=None,
-                       help="serve through captured graph replay (also "
-                            "persists the preference into the run dir); "
-                            "default restores the run dir's setting")
-    serve.add_argument("--cache-capacity", type=int, default=4096)
+    serve.add_argument("--max-batch-size", type=int, default=None,
+                       help="ServeConfig.max_batch_size (default: the run "
+                            "dir's persisted serve block)")
+    serve.add_argument("--max-wait-ms", type=float, default=None,
+                       help="ServeConfig.max_wait_ms (default: persisted)")
+    serve.add_argument("--capture", nargs="?", const="on",
+                       choices=("on", "off", "auto"), default="auto",
+                       help="captured graph replay: 'on'/'off' force and "
+                            "persist the preference into the run dir; "
+                            "'auto' (default) restores the run dir's "
+                            "setting; bare --capture means 'on'")
+    serve.add_argument("--cache-capacity", type=int, default=None,
+                       help="ServeConfig.cache_capacity (default: persisted)")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--baseline", action="store_true",
                        help="also time the single-request path and "
@@ -226,6 +238,53 @@ def build_parser():
                        help="directory for the SERVE_*.json report")
     serve.add_argument("--no-json", action="store_true",
                        help="print the summary only, write no report")
+
+    loadtest = commands.add_parser(
+        "loadtest", help="drive a replica pool and report latency "
+                         "percentiles + throughput")
+    loadtest.add_argument("--run-dir", required=True, metavar="DIR",
+                          help="run directory from `repro train --run-dir`")
+    loadtest.add_argument("--checkpoint", default="best",
+                          choices=("best", "last"))
+    loadtest.add_argument("--workers", type=int, default=None,
+                          help="ServeConfig.workers: replica pool size "
+                               "(default: the run dir's persisted serve "
+                               "block)")
+    loadtest.add_argument("--max-batch-size", type=int, default=None,
+                          help="ServeConfig.max_batch_size (default: "
+                               "persisted)")
+    loadtest.add_argument("--deadline-ms", type=float, default=None,
+                          help="ServeConfig.deadline_ms: per-request "
+                               "deadline (default: persisted / disabled)")
+    loadtest.add_argument("--queue-depth", type=int, default=None,
+                          help="ServeConfig.queue_depth: in-flight bound "
+                               "(default: persisted)")
+    loadtest.add_argument("--cache-capacity", type=int, default=None,
+                          help="ServeConfig.cache_capacity: per-worker "
+                               "session store size (default: persisted)")
+    loadtest.add_argument("--capture", nargs="?", const="on",
+                          choices=("on", "off", "auto"), default="auto",
+                          help="captured graph replay in the workers "
+                               "('auto' restores the run dir's setting)")
+    loadtest.add_argument("--requests", type=int, default=64,
+                          help="stateless predict requests to send")
+    loadtest.add_argument("--streams", type=int, default=8,
+                          help="concurrent streaming admissions")
+    loadtest.add_argument("--stream-steps", type=int, default=4,
+                          help="observations per streaming admission")
+    loadtest.add_argument("--concurrency", type=int, default=16,
+                          help="client-side request concurrency")
+    loadtest.add_argument("--max-seconds", type=float, default=120.0,
+                          help="hard watchdog on the whole drive phase")
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--check-floor", default=None, metavar="PATH",
+                          help="fail (exit 1) unless the report clears the "
+                               "floor file (benchmarks/results/"
+                               "pool_floor.json)")
+    loadtest.add_argument("--out", default=".", metavar="DIR",
+                          help="directory for the SERVE_*.json report")
+    loadtest.add_argument("--no-json", action="store_true",
+                          help="print the summary only, write no report")
 
     return parser
 
@@ -393,6 +452,8 @@ def _cmd_bench(args, out):
         return _cmd_bench_shards(args, out)
     if args.capture:
         return _cmd_bench_capture(args, out)
+    if args.streaming:
+        return _cmd_bench_streaming(args, out)
     result = benchmark_training(
         model_name=args.model, task=args.task, epochs=args.epochs,
         num_admissions=args.admissions, batch_size=args.batch_size,
@@ -462,6 +523,49 @@ def _cmd_bench_capture(args, out):
     return 0
 
 
+def _cmd_bench_streaming(args, out):
+    """``repro bench --streaming``: recompute vs streaming step latency.
+
+    Verifies bit-identity at every prefix first, then times both lanes
+    over the same observations.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from .bench.report import _slug
+    from .bench.runner import benchmark_streaming
+
+    result = benchmark_streaming(
+        model_name=args.model, num_admissions=args.admissions,
+        seed=args.seed, repeats=args.repeats, dtype=args.dtype)
+    config = result["config"]
+    mode = "native O(1) state" if result["native"] else "exact prefix replay"
+    out.write(f"{args.model} streaming inference ({config['dtype']}, "
+              f"{config['num_steps']} steps, {mode})\n")
+    out.write(f"  recompute/step: "
+              f"{result['recompute_seconds_per_step'] * 1e3:.3f} ms\n")
+    out.write(f"  streaming/step: "
+              f"{result['streaming_seconds_per_step'] * 1e3:.3f} ms\n")
+    out.write(f"  speedup       : {result['speedup']:.2f}x\n")
+    if not args.no_json:
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        payload = dict(config)
+        payload.update(
+            native=result["native"],
+            recompute_seconds_per_step=result["recompute_seconds_per_step"],
+            streaming_seconds_per_step=result["streaming_seconds_per_step"],
+            speedup=result["speedup"],
+            created=stamp,
+        )
+        directory = Path(args.out)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_streaming-{_slug(args.model)}_{stamp}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        out.write(f"report written to {path}\n")
+    return 0
+
+
 def _cmd_bench_shards(args, out):
     """``repro bench --shards DIR``: out-of-core throughput + peak RSS.
 
@@ -516,12 +620,54 @@ def _cmd_bench_shards(args, out):
     return 0
 
 
+def _capture_override(value):
+    """Map the tri-state ``--capture {on,off,auto}`` flag to bool-or-None."""
+    return {"on": True, "off": False, "auto": None}[value]
+
+
+def _serve_config_overrides(args, *fields):
+    """ServeConfig overrides explicitly given on the command line.
+
+    Flags default to ``None`` so the run directory's persisted ``serve``
+    block stays authoritative unless the user says otherwise; the
+    tri-state ``--capture`` contributes only when not ``auto``.
+    """
+    overrides = {name: getattr(args, name) for name in fields
+                 if getattr(args, name) is not None}
+    capture = _capture_override(args.capture)
+    if capture is not None:
+        overrides["capture"] = capture
+    return overrides
+
+
+def _resolve_serve_config(args, *fields):
+    """The effective ServeConfig for a run-dir command, or ``None``.
+
+    ``None`` means "no explicit choice" — ``Predictor.load`` (and the
+    pool) then restore the persisted block without rewriting it.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from .serve import ServeConfig
+
+    overrides = _serve_config_overrides(args, *fields)
+    if not overrides:
+        return None
+    config_path = Path(args.run_dir) / "config.json"
+    base = ServeConfig()
+    if config_path.exists():
+        base = ServeConfig.from_run_config(
+            json_module.loads(config_path.read_text()))
+    return base.replace(**overrides)
+
+
 def _cmd_predict(args, out):
     from .data import load_cohort
     from .serve import Predictor
 
     predictor = Predictor.load(args.run_dir, checkpoint=args.checkpoint,
-                               capture=args.capture)
+                               config=_resolve_serve_config(args))
     splits = load_cohort(args.cohort, scale=args.scale)
     dataset = getattr(splits, args.split)
     probabilities = predictor.predict_proba(dataset)
@@ -553,15 +699,17 @@ def _cmd_serve(args, out):
     from .serve import MicroBatcher, Predictor, PreprocessCache, ServeMetrics
 
     metrics = ServeMetrics(label=f"serve-{Path(args.run_dir).name}")
-    predictor = Predictor.load(args.run_dir, checkpoint=args.checkpoint,
-                               metrics=metrics, capture=args.capture)
+    predictor = Predictor.load(
+        args.run_dir, checkpoint=args.checkpoint, metrics=metrics,
+        config=_resolve_serve_config(args, "max_batch_size", "max_wait_ms",
+                                     "cache_capacity"))
     standardizer_path = Path(args.run_dir) / "standardizer.npz"
     if not standardizer_path.exists():
         raise SystemExit(f"no standardizer.npz under {args.run_dir}; "
                          "re-train with `repro train --run-dir` to produce "
                          "a servable run directory")
     cache = PreprocessCache(Standardizer.load(standardizer_path),
-                            capacity=args.cache_capacity, metrics=metrics)
+                            predictor.config, metrics=metrics)
 
     # Synthetic request stream: `--requests` lookups cycling over a pool
     # of `--pool` distinct admissions (repeat traffic -> cache hits).
@@ -579,16 +727,15 @@ def _cmd_serve(args, out):
         single_seconds = (perf_counter() - started) / len(probe)
 
     spec = predictor.spec
+    serve_config = predictor.config
     out.write(f"serving {spec.name if spec else '?'} from {args.run_dir}: "
               f"{args.requests} requests, {args.clients} clients, "
-              f"max batch {args.max_batch_size}, "
-              f"max wait {args.max_wait_ms:.1f} ms\n")
+              f"max batch {serve_config.max_batch_size}, "
+              f"max wait {serve_config.max_wait_ms:.1f} ms\n")
 
     errors = []
     started = perf_counter()
-    with MicroBatcher(predictor, max_batch_size=args.max_batch_size,
-                      max_wait_ms=args.max_wait_ms,
-                      metrics=metrics) as batcher:
+    with MicroBatcher(predictor, serve_config, metrics=metrics) as batcher:
         def client(worker_index):
             for request_index in range(worker_index, args.requests,
                                        args.clients):
@@ -619,8 +766,8 @@ def _cmd_serve(args, out):
         "model": spec.name if spec else None,
         "requests": args.requests,
         "clients": args.clients,
-        "max_batch_size": args.max_batch_size,
-        "max_wait_ms": args.max_wait_ms,
+        "max_batch_size": serve_config.max_batch_size,
+        "max_wait_ms": serve_config.max_wait_ms,
         "throughput_req_per_sec": throughput,
     }
     if single_seconds is not None:
@@ -635,6 +782,49 @@ def _cmd_serve(args, out):
     return 0
 
 
+def _cmd_loadtest(args, out):
+    from .serve import check_floor, run_loadtest
+
+    config = _resolve_serve_config(
+        args, "workers", "max_batch_size", "deadline_ms", "queue_depth",
+        "cache_capacity")
+    report = run_loadtest(
+        args.run_dir, checkpoint=args.checkpoint, config=config,
+        num_requests=args.requests, num_streams=args.streams,
+        stream_steps=args.stream_steps, concurrency=args.concurrency,
+        max_seconds=args.max_seconds, seed=args.seed,
+        out_dir=None if args.no_json else args.out)
+
+    latency = report["latency_ms"]
+    workers = report["workers"]
+    out.write(f"loadtest over {args.run_dir}: {report['requests']} predicts "
+              f"+ {report['stream_sessions']} streams x "
+              f"{args.stream_steps} steps, "
+              f"{workers['configured']} workers\n")
+    out.write(f"  p50 latency   : {latency['p50']:.2f} ms\n")
+    out.write(f"  p95 latency   : {latency['p95']:.2f} ms\n")
+    out.write(f"  p99 latency   : {latency['p99']:.2f} ms\n")
+    out.write(f"  throughput    : {report['throughput_rps']:.1f} req/s\n")
+    out.write(f"  worker pids   : {len(workers['observed_pids'])} of "
+              f"{len(workers['pids'])} answered "
+              f"({' '.join(str(p) for p in workers['observed_pids'])})\n")
+    if report["deadline_misses"]:
+        out.write(f"  deadline miss : {report['deadline_misses']}\n")
+    if report["errors"]:
+        out.write(f"  errors        : {len(report['errors'])} "
+                  f"(first: {report['errors'][0]})\n")
+    if "report_path" in report:
+        out.write(f"report written to {report['report_path']}\n")
+    if args.check_floor:
+        violations = check_floor(report, args.check_floor)
+        if violations:
+            for violation in violations:
+                out.write(f"FLOOR VIOLATION: {violation}\n")
+            return 1
+        out.write(f"floor {args.check_floor} holds\n")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "shard": _cmd_shard,
@@ -644,6 +834,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
 }
 
 

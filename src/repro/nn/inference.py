@@ -35,7 +35,39 @@ class InferenceMixin:
     Mix into any :class:`~repro.nn.module.Module` subclass that
     implements ``forward_batch(batch) -> logits``.  The host class
     provides ``training`` / ``train()`` / ``eval()``.
+
+    Streaming protocol
+    ------------------
+    Models whose forward factors into a causal per-step recurrence may
+    additionally set ``stream_native = True`` and implement
+
+    * ``stream_begin(batch_size) -> state`` — fresh per-session state;
+    * ``stream_step(state, values_t, mask_t, deltas_t) -> (state, logits)``
+      — consume one ``(batch, features)`` timestep slice and produce the
+      logits *as of that prefix*, bit-identical to ``predict_logits``
+      over the same prefix (see docs/SERVING.md for the contract).
+
+    :class:`repro.serve.StreamingSession` drives these hooks under
+    ``eval()`` + ``no_grad``; models without them (attention over the
+    future, reverse-time encoders) are streamed by exact prefix replay
+    instead, so every model supports the streaming surface.
     """
+
+    #: True on models implementing stream_begin/stream_step natively;
+    #: the serving session replays prefixes for everything else.
+    stream_native = False
+
+    def stream_begin(self, batch_size):
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement native streaming; "
+            "use repro.serve.StreamingSession, which falls back to exact "
+            "prefix replay")
+
+    def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement native streaming; "
+            "use repro.serve.StreamingSession, which falls back to exact "
+            "prefix replay")
 
     def predict_logits(self, batch):
         """Raw output logits for a batch as a plain numpy array.

@@ -15,6 +15,7 @@ from __future__ import annotations
 from ..backend import xp as np
 
 from .. import init, ops
+from ..dtype import get_default_dtype
 from ..module import Module, Parameter
 from ..tensor import Tensor
 
@@ -123,6 +124,27 @@ class GRU(Module):
             return ops.stack(outputs, axis=1)
         return h
 
+    # -- streaming inference (serve tier) ------------------------------
+    def initial_state(self, batch_size):
+        """Zero hidden state for :meth:`stream_step` (policy dtype)."""
+        return np.zeros((batch_size, self.hidden_size),
+                        dtype=get_default_dtype())
+
+    def stream_step(self, x_t, h):
+        """Advance one inference-only step on plain arrays.
+
+        ``x_t`` is ``(batch, features)``, ``h`` ``(batch, hidden)``;
+        returns the new hidden state.  Bit-identical to one step of the
+        fused scan (:func:`repro.nn.ops.gru_scan_step`), which is what
+        lets :class:`repro.serve.StreamingSession` turn each new hourly
+        observation into an O(1) update instead of a full-sequence
+        recompute.
+        """
+        cell = self.cell
+        x_t = np.asarray(x_t, dtype=get_default_dtype())
+        return ops.gru_scan_step(x_t, h, cell.w_ih.data, cell.w_hh.data,
+                                 cell.b_ih.data, cell.b_hh.data)
+
 
 class LSTMCell(Module):
     """Single-step LSTM (Hochreiter & Schmidhuber, 1997).
@@ -194,6 +216,25 @@ class LSTM(Module):
         if self.return_sequences:
             return ops.stack(outputs, axis=1)
         return h
+
+    # -- streaming inference (serve tier) ------------------------------
+    def initial_state(self, batch_size):
+        """Zero ``(h, c)`` state for :meth:`stream_step` (policy dtype)."""
+        dtype = get_default_dtype()
+        return (np.zeros((batch_size, self.hidden_size), dtype=dtype),
+                np.zeros((batch_size, self.hidden_size), dtype=dtype))
+
+    def stream_step(self, x_t, state):
+        """One inference-only step; ``state`` is ``(h, c)`` arrays.
+
+        Bit-identical to one step of the fused scan
+        (:func:`repro.nn.ops.lstm_scan_step`); see :meth:`GRU.stream_step`.
+        """
+        cell = self.cell
+        h, c = state
+        x_t = np.asarray(x_t, dtype=get_default_dtype())
+        return ops.lstm_scan_step(x_t, h, c, cell.w_ih.data,
+                                  cell.w_hh.data, cell.bias.data)
 
 
 class BiGRU(Module):

@@ -60,6 +60,10 @@ __all__ = [
     "softmax_cross_entropy", "where", "dropout_mask", "pad_last",
     "outer_last", "embedding_lookup", "gru_step", "gru_scan", "lstm_scan",
 ]
+# gru_scan_step / lstm_scan_step are deliberately NOT in __all__: they
+# are inference-only array kernels (no Tensor, no graph, no backward)
+# behind the streaming stream_step hooks, and __all__ doubles as the
+# differentiable-op registry contract (tests/nn/test_gradcheck_registry).
 
 
 # ----------------------------------------------------------------------
@@ -1205,6 +1209,25 @@ def _sigmoid_into(x, out):
     return out
 
 
+def _rowstable_matmul(a, b):
+    """``a @ b`` computed in the BLAS row-stable regime (M >= 2).
+
+    On this container's BLAS, a single-row float64 GEMM dispatches to a
+    GEMV-shaped kernel whose accumulation order differs in the last bits
+    from the GEMM used for M >= 2 rows, while every M >= 2 shape agrees
+    row-for-row.  Padding the lone row keeps all callers — the fused
+    scans' flattened input projection and the streaming single-step
+    kernels — inside the same row-stable class, which is what makes
+    streaming inference bit-identical to the full forward
+    (tests/serve/test_streaming.py pins the contract).
+    """
+    if a.shape[0] == 1:
+        padded = np.zeros((2, a.shape[1]), dtype=a.dtype)
+        padded[0] = a[0]
+        return np.matmul(padded, b)[:1]
+    return np.matmul(a, b)
+
+
 def _check_scan_lengths(lengths, batch, steps):
     """Validate per-row sequence lengths for the scan kernels."""
     if lengths is None:
@@ -1294,7 +1317,7 @@ def gru_scan(x, h0, w_ih, w_hh, b_ih, b_hh, lengths=None,
     # flattened 2-D view free.
     x_2d = np.ascontiguousarray(
         x.data[:, :t_run].swapaxes(0, 1)).reshape(t_run * batch, num_in)
-    gx = x_2d @ w_ih.data
+    gx = _rowstable_matmul(x_2d, w_ih.data)
     gx += b_ih.data
     gx = gx.reshape(t_run, batch, 3 * hidden)
     dt = gx.dtype
@@ -1478,7 +1501,7 @@ def lstm_scan(x, h0, c0, w_ih, w_hh, bias, lengths=None,
 
     x_2d = np.ascontiguousarray(
         x.data[:, :t_run].swapaxes(0, 1)).reshape(t_run * batch, num_in)
-    gx = x_2d @ w_ih.data
+    gx = _rowstable_matmul(x_2d, w_ih.data)
     gx += bias.data
     gx = gx.reshape(t_run, batch, 4 * hidden)
     dt = gx.dtype
@@ -1615,6 +1638,64 @@ def lstm_scan(x, h0, c0, w_ih, w_hh, bias, lengths=None,
             bias._accumulate(dg_2d.sum(axis=0), owned=True)
 
     return Tensor._make(out_data, (x, h0, c0, w_ih, w_hh, bias), backward)
+
+
+def gru_scan_step(x_t, h, w_ih, w_hh, b_ih, b_hh):
+    """One inference-only GRU step, bit-identical to a :func:`gru_scan` step.
+
+    Operates on plain arrays (no tensors, no graph, no backward): ``x_t``
+    is ``(batch, features)``, ``h`` is ``(batch, hidden)``; returns the
+    new hidden state.  The body replays exactly the scan loop's ufunc
+    tail and runs the input projection through :func:`_rowstable_matmul`
+    — the same row-stable GEMM class as the scan's flattened projection
+    — so feeding a sequence one step at a time reproduces ``gru_scan``
+    bit-for-bit at every prefix.  That equality is the streaming
+    inference contract (:class:`repro.serve.StreamingSession`); it holds
+    per batch width, i.e. a streaming session of ``n`` admissions
+    matches a full forward over those same ``n`` rows.
+    """
+    hidden = h.shape[-1]
+    h2 = 2 * hidden
+    gh = np.matmul(h, w_hh)
+    gh += b_hh
+    gt = _rowstable_matmul(x_t, w_ih)
+    gt += b_ih
+    gt[:, :h2] += gh[:, :h2]
+    g_act = np.empty_like(gt)
+    _sigmoid_into(gt[:, :h2], out=g_act[:, :h2])
+    z = g_act[:, :hidden]
+    r = g_act[:, hidden:h2]
+    nh = gh[:, h2:]                          # h @ W_hh_n + b_hh_n
+    n_pre = gt[:, h2:]
+    n_pre += np.multiply(r, nh)
+    n = np.tanh(n_pre, out=g_act[:, h2:])
+    h_new = np.subtract(h, n)                # z*h + (1-z)*n
+    h_new *= z
+    h_new += n
+    return h_new
+
+
+def lstm_scan_step(x_t, h, c, w_ih, w_hh, bias):
+    """One inference-only LSTM step, bit-identical to a :func:`lstm_scan`
+    step; see :func:`gru_scan_step`.  Returns ``(h_new, c_new)``.
+    """
+    hidden = h.shape[-1]
+    h2, h3 = 2 * hidden, 3 * hidden
+    gh = np.matmul(h, w_hh)
+    gt = _rowstable_matmul(x_t, w_ih)
+    gt += bias
+    gt += gh
+    g_act = np.empty_like(gt)
+    _sigmoid_into(gt[:, :h2], out=g_act[:, :h2])       # i | f
+    g = np.tanh(gt[:, h2:h3], out=g_act[:, h2:h3])
+    o = _sigmoid_into(gt[:, h3:], out=g_act[:, h3:])
+    i = g_act[:, :hidden]
+    f = g_act[:, hidden:h2]
+    c_new = np.multiply(f, c)
+    c_new += np.multiply(i, g)
+    tc = np.tanh(c_new)
+    h_new = np.multiply(o, tc)
+    return h_new, c_new
 
 
 # ----------------------------------------------------------------------

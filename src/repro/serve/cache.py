@@ -61,19 +61,23 @@ class PreprocessCache:
     ----------
     standardizer:
         Fitted training-split standardizer used for every preparation.
-    capacity:
-        Maximum number of cached admissions; the least recently used
-        entry is evicted beyond that.
+    config:
+        A :class:`~repro.serve.ServeConfig`; ``cache_capacity`` bounds
+        the number of cached admissions — the least recently used entry
+        is evicted beyond it.  The pre-ServeConfig ``capacity=`` keyword
+        still works with a :class:`DeprecationWarning`.
     metrics:
         Optional :class:`~repro.serve.ServeMetrics`; every lookup
         records a cache hit or miss.
     """
 
-    def __init__(self, standardizer, capacity=4096, metrics=None):
-        if capacity < 1:
+    def __init__(self, standardizer, config=None, *, metrics=None, **legacy):
+        from .config import resolve_config
+        self.config = resolve_config(config, legacy, owner="PreprocessCache")
+        if self.config.cache_capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.standardizer = standardizer
-        self.capacity = int(capacity)
+        self.capacity = self.config.cache_capacity
         self.metrics = metrics
         self.hits = 0
         self.misses = 0

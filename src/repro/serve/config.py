@@ -1,0 +1,194 @@
+"""One serving configuration object: :class:`ServeConfig`.
+
+The serving stack grew one keyword at a time — ``batch_size`` on the
+:class:`~repro.serve.Predictor`, ``max_batch_size``/``max_wait_ms`` on
+the :class:`~repro.serve.MicroBatcher`, ``capacity`` on the
+:class:`~repro.serve.PreprocessCache`, ``capture``/``max_captures`` for
+graph capture, and now pool sizing and deadlines for the replica pool.
+:class:`ServeConfig` consolidates all of them into a single frozen
+dataclass that every serving component accepts as its first
+configuration argument, that round-trips through JSON, and that training
+run directories persist as the ``serve`` block of ``config.json`` (so
+``Predictor.load`` restores a run's serving preferences).
+
+The old per-component keywords keep working through
+:func:`resolve_config` shims that emit a ``DeprecationWarning`` naming
+the new spelling; see docs/API.md for the migration table.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import asdict, dataclass, fields, replace
+
+__all__ = ["ServeConfig", "resolve_config"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every serving knob in one declarative, JSON-able object.
+
+    Parameters
+    ----------
+    batch_size:
+        Chunk size for bulk prediction (``Predictor.predict_proba``).
+        Matching the training batch size reproduces the training
+        engine's evaluation pass bit-for-bit.
+    max_batch_size:
+        Upper bound on coalesced requests per forward; micro-batched
+        forwards are padded to exactly this many rows (the determinism
+        guarantee) both in the :class:`~repro.serve.MicroBatcher` and in
+        replica-pool workers.
+    max_wait_ms:
+        How long the micro-batching worker holds an under-full batch
+        open after its first request arrived.
+    cache_capacity:
+        LRU capacity shared by the preprocessing cache and the
+        streaming session store (entries, per component).
+    capture:
+        Tri-state inference graph capture: ``None`` inherits the run
+        directory's persisted preference (off when absent), ``True`` /
+        ``False`` force it.
+    max_captures:
+        Shape budget for captured graphs per predictor.
+    workers:
+        Replica-pool size — number of worker processes, each holding a
+        shared-nothing model replica.
+    deadline_ms:
+        Per-request deadline for pool requests; ``None`` disables
+        deadlines (callers may still pass explicit timeouts).
+    queue_depth:
+        Bound on in-flight pool requests (backpressure): the asyncio
+        front-end blocks and the raw ``submit`` surface raises
+        :class:`~repro.serve.ServeOverloadError` beyond it.
+    """
+
+    batch_size: int = 64
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    cache_capacity: int = 4096
+    capture: bool | None = None
+    max_captures: int = 8
+    workers: int = 2
+    deadline_ms: float | None = None
+    queue_depth: int = 128
+
+    def __post_init__(self):
+        for name in ("batch_size", "max_batch_size", "cache_capacity",
+                     "max_captures", "workers", "queue_depth"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                object.__setattr__(self, name, int(value))
+            if getattr(self, name) < 1:
+                raise ValueError(f"ServeConfig.{name} must be >= 1, "
+                                 f"got {value!r}")
+        object.__setattr__(self, "max_wait_ms", float(self.max_wait_ms))
+        if self.max_wait_ms < 0:
+            raise ValueError("ServeConfig.max_wait_ms must be >= 0")
+        if self.deadline_ms is not None:
+            object.__setattr__(self, "deadline_ms", float(self.deadline_ms))
+            if self.deadline_ms <= 0:
+                raise ValueError("ServeConfig.deadline_ms must be > 0 "
+                                 "(use None to disable deadlines)")
+        if self.capture is not None and not isinstance(self.capture, bool):
+            object.__setattr__(self, "capture", bool(self.capture))
+
+    # ------------------------------------------------------------------
+    # Derivation / serialization
+    # ------------------------------------------------------------------
+    def replace(self, **overrides):
+        """A copy with the given fields changed (validation re-runs)."""
+        return replace(self, **overrides)
+
+    def to_dict(self):
+        """JSON-able payload; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def field_names(cls):
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_dict(cls, payload, strict=False):
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys are ignored unless ``strict`` — forward
+        compatibility for run directories written by newer versions.
+        """
+        payload = dict(payload or {})
+        known = set(cls.field_names())
+        unknown = set(payload) - known
+        if unknown and strict:
+            raise ValueError(f"unknown ServeConfig fields: {sorted(unknown)}")
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    @classmethod
+    def from_run_config(cls, config_payload):
+        """Serving configuration persisted in a run-dir ``config.json``.
+
+        Reads the ``serve`` block; a run directory predating the block
+        (or a partial block) fills the gaps with defaults, except
+        ``batch_size`` which falls back to the *training* batch size
+        recorded at the top level — matching it reproduces the training
+        engine's evaluation pass bit-for-bit.
+        """
+        config_payload = config_payload or {}
+        serve_block = dict(config_payload.get("serve") or {})
+        if "batch_size" not in serve_block and "batch_size" in config_payload:
+            serve_block["batch_size"] = int(config_payload["batch_size"])
+        return cls.from_dict(serve_block)
+
+
+# Legacy keyword -> ServeConfig field. Keys are the historical spellings
+# accepted by the pre-ServeConfig constructors.
+_LEGACY_SPELLINGS = {
+    "batch_size": "batch_size",
+    "max_batch_size": "max_batch_size",
+    "max_wait_ms": "max_wait_ms",
+    "capacity": "cache_capacity",
+    "cache_capacity": "cache_capacity",
+    "capture": "capture",
+    "max_captures": "max_captures",
+    "workers": "workers",
+    "deadline_ms": "deadline_ms",
+    "queue_depth": "queue_depth",
+}
+
+
+def resolve_config(config, legacy, owner, base=None):
+    """Merge a ``config`` argument and legacy keywords into a ServeConfig.
+
+    ``legacy`` is the ``**kwargs`` dict a serving constructor collected;
+    each recognized key maps onto its :class:`ServeConfig` field and
+    emits one ``DeprecationWarning`` naming the new spelling.  Unknown
+    keys raise ``TypeError`` exactly like a normal bad keyword would.
+    Passing both ``config`` and legacy keywords is ambiguous and raises.
+    ``base`` seeds the defaults when neither is given (e.g. a
+    MicroBatcher inheriting its predictor's config).
+    """
+    legacy = dict(legacy or {})
+    unknown = [k for k in legacy if k not in _LEGACY_SPELLINGS]
+    if unknown:
+        raise TypeError(f"{owner}() got unexpected keyword argument(s) "
+                        f"{sorted(unknown)}")
+    if config is not None and legacy:
+        raise TypeError(
+            f"{owner}() received both config=ServeConfig(...) and legacy "
+            f"keyword(s) {sorted(legacy)}; move them into the config")
+    if config is not None:
+        if not isinstance(config, ServeConfig):
+            raise TypeError(f"{owner}() config must be a ServeConfig, "
+                            f"got {type(config).__name__}")
+        return config
+    resolved = base if base is not None else ServeConfig()
+    if legacy:
+        spellings = ", ".join(
+            f"{key}= -> ServeConfig({_LEGACY_SPELLINGS[key]}=...)"
+            for key in sorted(legacy))
+        warnings.warn(
+            f"passing {sorted(legacy)} directly to {owner}() is deprecated; "
+            f"use {owner}(config=ServeConfig(...)) — {spellings}",
+            DeprecationWarning, stacklevel=3)
+        resolved = resolved.replace(
+            **{_LEGACY_SPELLINGS[k]: v for k, v in legacy.items()})
+    return resolved

@@ -44,6 +44,10 @@ class ServeMetrics:
         self._cache_misses = 0
         self._capture_hits = 0
         self._capture_fallbacks = 0
+        self._stream_sessions = 0
+        self._stream_steps = 0
+        self._stream_native_steps = 0
+        self._stream_seconds = 0.0
         self._started = time.perf_counter()
 
     # -- event sinks ----------------------------------------------------
@@ -74,6 +78,67 @@ class ServeMetrics:
                 self._capture_hits += 1
             else:
                 self._capture_fallbacks += 1
+
+    def record_stream_session(self):
+        """One :class:`~repro.serve.StreamingSession` opened."""
+        with self._lock:
+            self._stream_sessions += 1
+
+    def record_stream_step(self, seconds, native=False):
+        """One streaming step served (``native`` = O(1) state update)."""
+        with self._lock:
+            self._stream_steps += 1
+            if native:
+                self._stream_native_steps += 1
+            self._stream_seconds += float(seconds)
+
+    # -- pool aggregation ----------------------------------------------
+    def snapshot(self):
+        """Raw counters as a JSON-able dict (for cross-process merge).
+
+        Replica-pool workers ship this over the response queue at exit;
+        the parent folds them in with :meth:`merge_snapshot`, so the
+        pool-wide report covers every worker's latencies and batches.
+        """
+        with self._lock:
+            return {
+                "request_latencies": list(self._request_latencies),
+                "batch_sizes": {str(k): v
+                                for k, v in self._batch_sizes.items()},
+                "batch_seconds": self._batch_seconds,
+                "cache_hits": self._cache_hits,
+                "cache_misses": self._cache_misses,
+                "capture_hits": self._capture_hits,
+                "capture_fallbacks": self._capture_fallbacks,
+                "stream_sessions": self._stream_sessions,
+                "stream_steps": self._stream_steps,
+                "stream_native_steps": self._stream_native_steps,
+                "stream_seconds": self._stream_seconds,
+            }
+
+    def merge_snapshot(self, snapshot):
+        """Fold another accumulator's :meth:`snapshot` into this one."""
+        with self._lock:
+            self._request_latencies.extend(
+                float(s) for s in snapshot.get("request_latencies", ()))
+            for size, count in snapshot.get("batch_sizes", {}).items():
+                self._batch_sizes[int(size)] += int(count)
+            self._batch_seconds += float(snapshot.get("batch_seconds", 0.0))
+            self._cache_hits += int(snapshot.get("cache_hits", 0))
+            self._cache_misses += int(snapshot.get("cache_misses", 0))
+            self._capture_hits += int(snapshot.get("capture_hits", 0))
+            self._capture_fallbacks += int(
+                snapshot.get("capture_fallbacks", 0))
+            self._stream_sessions += int(snapshot.get("stream_sessions", 0))
+            self._stream_steps += int(snapshot.get("stream_steps", 0))
+            self._stream_native_steps += int(
+                snapshot.get("stream_native_steps", 0))
+            self._stream_seconds += float(snapshot.get("stream_seconds", 0.0))
+        return self
+
+    def merge(self, other):
+        """Fold another :class:`ServeMetrics` instance into this one."""
+        return self.merge_snapshot(other.snapshot())
 
     # -- derived statistics --------------------------------------------
     @property
@@ -114,6 +179,15 @@ class ServeMetrics:
         return self.latency_quantile(95)
 
     @property
+    def p99_latency(self):
+        return self.latency_quantile(99)
+
+    @property
+    def stream_step_count(self):
+        with self._lock:
+            return self._stream_steps
+
+    @property
     def capture_hits(self):
         with self._lock:
             return self._capture_hits
@@ -144,9 +218,15 @@ class ServeMetrics:
             capture_hits = self._capture_hits
             capture_fallbacks = self._capture_fallbacks
             batch_seconds = self._batch_seconds
+            stream = {
+                "sessions": self._stream_sessions,
+                "steps": self._stream_steps,
+                "native_steps": self._stream_native_steps,
+                "step_seconds": self._stream_seconds,
+            }
         total_batches = sum(histogram.values())
         payload = {
-            "schema": "repro.serve/v1",
+            "schema": "repro.serve/v2",
             "label": self.label,
             "requests": len(latencies),
             "batches": total_batches,
@@ -158,8 +238,10 @@ class ServeMetrics:
             "latency_seconds": {
                 "p50": float(np.percentile(latencies, 50)) if latencies else 0.0,
                 "p95": float(np.percentile(latencies, 95)) if latencies else 0.0,
+                "p99": float(np.percentile(latencies, 99)) if latencies else 0.0,
                 "max": float(max(latencies)) if latencies else 0.0,
             },
+            "stream": stream,
             "cache": {
                 "hits": cache_hits,
                 "misses": cache_misses,
@@ -194,6 +276,12 @@ class ServeMetrics:
             lines.append(
                 f"capture         : {capture['hits']} replay hits / "
                 f"{capture['eager_fallbacks']} eager fallbacks")
+        stream = payload["stream"]
+        if stream["steps"]:
+            lines.append(
+                f"stream steps    : {stream['steps']} "
+                f"({stream['native_steps']} native) over "
+                f"{stream['sessions']} sessions")
         if histogram:
             spread = "  ".join(f"{size}x{count}"
                                for size, count in histogram.items())

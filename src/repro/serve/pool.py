@@ -1,0 +1,473 @@
+"""Replica pool: shared-nothing multi-process serving.
+
+One Python process tops out at one GIL's worth of request handling; the
+:class:`ReplicaPool` forks ``workers`` OS processes, each rebuilding the
+model from the run directory's pickled
+:class:`~repro.baselines.ModelSpec` + checkpoint (capture-aware, so each
+replica replays the inference graph independently) and serving from its
+own :class:`~repro.serve.SessionStore`.  The parent process never holds
+the model — it only routes:
+
+* **stateless predicts** round-robin across workers, each worker
+  coalescing whatever is queued into one padded fixed-shape forward
+  (the MicroBatcher determinism guarantee, per replica);
+* **streaming steps** shard *stickily* — ``crc32(admission_id) %
+  workers`` — so an admission's recurrent state lives in exactly one
+  worker and every step request finds it (CRC, unlike ``hash(str)``, is
+  stable across processes and interpreter runs);
+* responses resolve :class:`concurrent.futures.Future` objects via a
+  collector thread, so the blocking surface and the asyncio front-end
+  (:class:`AsyncServeFrontend`) share one mechanism.
+
+On startup every worker reports its spec fingerprint; a replica that
+rebuilt a different model than the parent expected fails the whole pool
+loudly (mixed replicas would answer identical requests differently).
+Worker metrics snapshots merge into the parent's
+:class:`~repro.serve.ServeMetrics` at shutdown, so pool reports cover
+every replica's latencies.
+
+Backpressure and deadlines: the pool bounds in-flight requests at
+``config.queue_depth`` (beyond it :meth:`ReplicaPool.submit` raises
+:class:`ServeOverloadError`); the asyncio front-end instead *waits* for
+a slot, and applies ``config.deadline_ms`` per request, raising
+:class:`ServeDeadlineError` on expiry (the late response is discarded
+when it eventually arrives).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import zlib
+from concurrent.futures import Future
+from pathlib import Path
+from time import perf_counter
+
+from .batcher import ServeRequestError
+from .config import ServeConfig, resolve_config
+from .metrics import ServeMetrics
+
+__all__ = ["ReplicaPool", "AsyncServeFrontend", "ServeDeadlineError",
+           "ServeOverloadError", "ServeWorkerError"]
+
+_READY = "__worker_ready__"
+_EXIT = "__worker_exit__"
+_STOP_COLLECTOR = "__collector_stop__"
+
+
+class ServeWorkerError(ServeRequestError):
+    """A request failed inside a pool worker (message carries details)."""
+
+
+class ServeOverloadError(RuntimeError):
+    """The pool's in-flight bound (``queue_depth``) was hit."""
+
+
+class ServeDeadlineError(TimeoutError):
+    """A request missed its per-request deadline (``deadline_ms``)."""
+
+
+def _shard_for(admission_id, workers):
+    """Sticky worker index for an admission — process-stable hashing."""
+    return zlib.crc32(repr(admission_id).encode()) % workers
+
+
+def _worker_main(index, run_dir, checkpoint, config_payload, requests,
+                 responses):
+    """Pool worker: rebuild the replica, then serve until the sentinel.
+
+    Runs in a forked child.  Stateless predicts are coalesced
+    opportunistically (drain whatever else is queued, up to
+    ``max_batch_size`` rows) into one padded forward; streaming steps go
+    through a per-admission :class:`SessionStore`.
+    """
+    from ..metrics.probability import sigmoid_probs, softmax_probs
+    from .predictor import Predictor, _stack_rows
+    from .streaming import SessionStore
+
+    pid = os.getpid()
+    config = ServeConfig.from_dict(config_payload)
+    try:
+        metrics = ServeMetrics(label=f"pool-worker-{index}")
+        predictor = Predictor.load(run_dir, checkpoint=checkpoint,
+                                   config=config, persist=False,
+                                   metrics=metrics)
+        store = SessionStore(predictor, capacity=config.cache_capacity,
+                             metrics=metrics)
+        fingerprint = predictor.spec.fingerprint()
+    except BaseException as error:
+        responses.put((_READY, index, pid, f"error: {error!r}"))
+        return
+    responses.put((_READY, index, pid, fingerprint))
+
+    def serve_predicts(batch):
+        """One padded forward for all coalesced predict requests."""
+        try:
+            rows_list = [rows for _, rows in batch]
+            stacked = (_stack_rows(rows_list) if len(rows_list) > 1
+                       else rows_list[0])
+            logits = predictor.predict_logits(
+                stacked, pad_to=config.max_batch_size)
+            probs = (sigmoid_probs(logits) if logits.ndim == 1
+                     else softmax_probs(logits))
+        except Exception as error:
+            for rid, _ in batch:
+                responses.put((rid, False, f"{type(error).__name__}: "
+                                           f"{error}", pid))
+            return
+        offset = 0
+        for rid, rows in batch:
+            n = len(rows)
+            responses.put((rid, True, probs[offset:offset + n], pid))
+            offset += n
+
+    while True:
+        message = requests.get()
+        if message is None:
+            responses.put((_EXIT, index, pid, metrics.snapshot()))
+            return
+        if message[0] == "predict":
+            batch = [(message[1], message[2])]
+            rows = len(message[2])
+            extras = []
+            while rows < config.max_batch_size:
+                try:
+                    extra = requests.get_nowait()
+                except queue_module.Empty:
+                    break
+                if extra is not None and extra[0] == "predict" and \
+                        rows + len(extra[2]) <= config.max_batch_size:
+                    batch.append((extra[1], extra[2]))
+                    rows += len(extra[2])
+                else:
+                    # Sentinel or a step request: handle after the batch.
+                    extras.append(extra)
+                    break
+            serve_predicts(batch)
+            for extra in extras:
+                if extra is None:
+                    responses.put((_EXIT, index, pid, metrics.snapshot()))
+                    return
+                _serve_step(extra, store, responses, pid)
+        else:
+            _serve_step(message, store, responses, pid)
+
+
+def _serve_step(message, store, responses, pid):
+    _, rid, admission_id, values_t, mask_t, deltas_t = message
+    try:
+        probs = store.step(admission_id, values_t, mask_t=mask_t,
+                           deltas_t=deltas_t)
+    except Exception as error:
+        responses.put((rid, False, f"{type(error).__name__}: {error}", pid))
+        return
+    responses.put((rid, True, probs, pid))
+
+
+class ReplicaPool:
+    """Multi-process serving pool over one training run directory.
+
+    Parameters
+    ----------
+    run_dir:
+        Run directory as for :meth:`Predictor.load`; every worker loads
+        the same spec + checkpoint (verified by fingerprint at startup).
+    checkpoint:
+        ``"best"`` or ``"last"``, as for :meth:`Predictor.load`.
+    config:
+        A :class:`~repro.serve.ServeConfig`; ``workers`` sizes the pool,
+        ``queue_depth`` bounds in-flight requests, ``max_batch_size`` is
+        each worker's padded forward shape, ``cache_capacity`` sizes the
+        per-worker session stores.  Defaults to the run directory's
+        persisted ``serve`` block.  The pre-ServeConfig ``workers=``
+        keyword still works with a :class:`DeprecationWarning`.
+    metrics:
+        Optional :class:`~repro.serve.ServeMetrics`; per-request
+        latencies accumulate live, worker-side counters merge in at
+        :meth:`stop`.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    Workers are forked, so they inherit the parent's precision policy
+    (:func:`repro.nn.autocast`) as of :meth:`start`.
+    """
+
+    def __init__(self, run_dir, checkpoint="best", config=None, *,
+                 metrics=None, **legacy):
+        self.run_dir = Path(run_dir)
+        self.checkpoint = checkpoint
+        base = None
+        config_path = self.run_dir / "config.json"
+        if config_path.exists():
+            base = ServeConfig.from_run_config(
+                json.loads(config_path.read_text()))
+        self.config = resolve_config(config, legacy, owner="ReplicaPool",
+                                     base=base)
+        self.metrics = metrics if metrics is not None else ServeMetrics(
+            label=f"pool-{self.run_dir.name}")
+        self.workers = self.config.workers
+        self._processes = []
+        self._request_queues = []
+        self._responses = None
+        self._collector = None
+        self._pending = {}
+        self._pending_lock = threading.Lock()
+        self._rid = 0
+        self._round_robin = 0
+        self._served_pids = set()
+        self._worker_pids = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._processes:
+            raise RuntimeError("ReplicaPool already started")
+        context = multiprocessing.get_context("fork")
+        self._responses = context.Queue()
+        config_payload = self.config.to_dict()
+        for index in range(self.workers):
+            requests = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(index, str(self.run_dir), self.checkpoint,
+                      config_payload, requests, self._responses),
+                name=f"repro-serve-replica-{index}", daemon=True)
+            process.start()
+            self._request_queues.append(requests)
+            self._processes.append(process)
+
+        # Ready handshake: every replica must rebuild the *same* model.
+        fingerprints = {}
+        for _ in range(self.workers):
+            kind, index, pid, fingerprint = self._responses.get(timeout=120)
+            if kind != _READY:
+                raise RuntimeError(f"unexpected startup message {kind!r}")
+            fingerprints[index] = fingerprint
+            self._worker_pids.append(pid)
+        failed = {i: f for i, f in fingerprints.items()
+                  if str(f).startswith("error:")}
+        if failed:
+            self._teardown_processes()
+            raise RuntimeError(f"replica startup failed: {failed}")
+        if len(set(fingerprints.values())) != 1:
+            self._teardown_processes()
+            raise RuntimeError(
+                f"replicas disagree on the model spec: {fingerprints} — "
+                "the run directory changed underneath the pool?")
+
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           name="repro-serve-collector",
+                                           daemon=True)
+        self._collector.start()
+        return self
+
+    def stop(self, timeout=30.0):
+        """Stop workers, merge their metrics, fail leftover requests."""
+        if not self._processes:
+            return
+        for requests in self._request_queues:
+            requests.put(None)
+        for process in self._processes:
+            process.join(timeout=timeout)
+        self._teardown_processes()
+        self._responses.put((_STOP_COLLECTOR, None, None, None))
+        self._collector.join(timeout=timeout)
+        self._collector = None
+        with self._pending_lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for future, _submitted_at in leftovers:
+            if not future.done():
+                future.set_exception(ServeRequestError(
+                    "ReplicaPool stopped with the request in flight"))
+        self._responses = None
+
+    def _teardown_processes(self):
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        self._processes = []
+        self._request_queues = []
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Collector
+    # ------------------------------------------------------------------
+    def _collect_loop(self):
+        while True:
+            message = self._responses.get()
+            if message[0] == _STOP_COLLECTOR:
+                return
+            if message[0] == _EXIT:
+                _, _index, _pid, snapshot = message
+                self.metrics.merge_snapshot(snapshot)
+                continue
+            rid, ok, payload, pid = message
+            with self._pending_lock:
+                entry = self._pending.pop(rid, None)
+            if entry is None:
+                continue  # deadline-abandoned request; drop the response
+            future, submitted_at = entry
+            self._served_pids.add(pid)
+            if future.cancelled():
+                continue
+            if ok:
+                self.metrics.record_request(perf_counter() - submitted_at)
+                future.set_result(payload)
+            else:
+                future.set_exception(ServeWorkerError(
+                    f"pool worker {pid} failed the request: {payload}"))
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def _register(self):
+        future = Future()
+        with self._pending_lock:
+            if len(self._pending) >= self.config.queue_depth:
+                raise ServeOverloadError(
+                    f"{len(self._pending)} requests in flight >= "
+                    f"queue_depth={self.config.queue_depth}")
+            self._rid += 1
+            rid = self._rid
+            self._pending[rid] = (future, perf_counter())
+        return rid, future
+
+    def _abandon(self, future):
+        """Forget an in-flight request (deadline miss): frees its
+        queue-depth slot now; the late response is dropped on arrival."""
+        with self._pending_lock:
+            for rid, (pending_future, _) in list(self._pending.items()):
+                if pending_future is future:
+                    del self._pending[rid]
+                    return True
+        return False
+
+    def _require_running(self):
+        if not self._processes:
+            raise RuntimeError("ReplicaPool is not running; use it as a "
+                               "context manager or call start()")
+
+    def submit(self, rows):
+        """Enqueue a stateless predict; returns a Future of probabilities.
+
+        ``rows`` is a model-ready :class:`~repro.data.dataset.EMRDataset`
+        of up to ``max_batch_size`` admissions; workers coalesce and pad
+        exactly like the in-process :class:`MicroBatcher`.
+        """
+        self._require_running()
+        if len(rows) > self.config.max_batch_size:
+            raise ValueError(f"request of {len(rows)} rows exceeds "
+                             f"max_batch_size={self.config.max_batch_size}")
+        rid, future = self._register()
+        index = self._round_robin % self.workers
+        self._round_robin += 1
+        self._request_queues[index].put(("predict", rid, rows))
+        return future
+
+    def submit_step(self, admission_id, values_t, mask_t=None,
+                    deltas_t=None):
+        """Enqueue one streaming observation; returns a Future.
+
+        Sticky-sharded: all steps for an admission hit the same worker,
+        where its :class:`StreamingSession` state lives.
+        """
+        self._require_running()
+        rid, future = self._register()
+        index = _shard_for(admission_id, self.workers)
+        self._request_queues[index].put(
+            ("step", rid, admission_id, values_t, mask_t, deltas_t))
+        return future
+
+    def predict_proba(self, rows, timeout=None):
+        """Blocking convenience: submit and wait for the probabilities."""
+        return self.submit(rows).result(timeout=timeout)
+
+    def step(self, admission_id, values_t, mask_t=None, deltas_t=None,
+             timeout=None):
+        """Blocking convenience around :meth:`submit_step`."""
+        return self.submit_step(admission_id, values_t, mask_t=mask_t,
+                                deltas_t=deltas_t).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def worker_pids(self):
+        """PIDs of the replica processes (after :meth:`start`)."""
+        return tuple(self._worker_pids)
+
+    @property
+    def served_pids(self):
+        """PIDs observed on responses so far — proof of real fan-out."""
+        return frozenset(self._served_pids)
+
+    @property
+    def in_flight(self):
+        with self._pending_lock:
+            return len(self._pending)
+
+
+class AsyncServeFrontend:
+    """Asyncio face of a :class:`ReplicaPool`: awaitable, bounded, timed.
+
+    * **Backpressure**: at most ``config.queue_depth`` requests are in
+      flight; further awaiters queue on an :class:`asyncio.Semaphore`
+      instead of erroring (the raw pool surface raises
+      :class:`ServeOverloadError` instead — the front-end absorbs
+      bursts, the raw surface refuses them).
+    * **Deadlines**: each request gets ``config.deadline_ms`` (or the
+      per-call override); on expiry :class:`ServeDeadlineError` is
+      raised and the late response is dropped when it arrives.
+
+    Construct inside a running event loop (the semaphore binds to it).
+    """
+
+    def __init__(self, pool, config=None):
+        import asyncio
+        self.pool = pool
+        self.config = config if config is not None else pool.config
+        self.deadline_misses = 0
+        self._semaphore = asyncio.Semaphore(self.config.queue_depth)
+
+    async def _await_future(self, future, deadline_ms):
+        import asyncio
+        deadline_ms = (self.config.deadline_ms if deadline_ms is None
+                       else deadline_ms)
+        wrapped = asyncio.wrap_future(future)
+        if deadline_ms is None:
+            return await wrapped
+        try:
+            return await asyncio.wait_for(wrapped, deadline_ms / 1000.0)
+        except asyncio.TimeoutError:
+            self.deadline_misses += 1
+            self.pool._abandon(future)
+            raise ServeDeadlineError(
+                f"request missed its {deadline_ms:g} ms deadline") from None
+
+    async def predict_proba(self, rows, deadline_ms=None):
+        """Await probabilities for a stateless predict."""
+        async with self._semaphore:
+            return await self._await_future(
+                self.pool.submit(rows), deadline_ms)
+
+    async def step(self, admission_id, values_t, mask_t=None, deltas_t=None,
+                   deadline_ms=None):
+        """Await one streaming-step update for an admission."""
+        async with self._semaphore:
+            return await self._await_future(
+                self.pool.submit_step(admission_id, values_t, mask_t=mask_t,
+                                      deltas_t=deltas_t), deadline_ms)

@@ -35,6 +35,7 @@ from time import perf_counter
 from ..nn.backend import xp as np
 
 from ..data.dataset import EMRDataset
+from .config import ServeConfig, resolve_config
 
 __all__ = ["Predictor", "load_predictor"]
 
@@ -80,10 +81,16 @@ class Predictor:
     model:
         A module implementing the :class:`repro.nn.InferenceMixin`
         protocol (``predict_logits`` / ``predict_proba``).
-    batch_size:
-        Chunk size for bulk prediction over whole datasets.  Use the
-        training batch size (``Predictor.load`` does) to reproduce
-        ``Trainer.predict_proba`` bit-for-bit.
+    config:
+        A :class:`~repro.serve.ServeConfig`.  The fields this component
+        reads: ``batch_size`` (bulk-prediction chunk size; matching the
+        training batch size reproduces ``Trainer.predict_proba``
+        bit-for-bit), ``capture`` (route forwards through inference
+        graph capture, :func:`repro.nn.capture.trace` — ``None`` means
+        off here), and ``max_captures`` (shape budget for captured
+        graphs; bulk prediction needs two, the micro-batcher one).
+        Legacy keywords (``batch_size=``, ``capture=``,
+        ``max_captures=``) still work via a ``DeprecationWarning`` shim.
     spec:
         Optional :class:`~repro.baselines.ModelSpec`; enables feature-
         count validation and round-trip introspection.  Defaults to the
@@ -91,38 +98,23 @@ class Predictor:
     metrics:
         Optional :class:`~repro.serve.ServeMetrics` sink; every forward
         batch is recorded into it.
-    capture:
-        Route forwards through inference graph capture
-        (:func:`repro.nn.capture.trace`): the first forward at each
-        batch shape traces a replayable graph, later same-shape
-        forwards replay it with no autodiff bookkeeping —
-        bit-identical to the eager forward.  Models whose forwards are
-        not capture-safe (trace validation fails) fall back to eager
-        serving permanently; per-forward hits and fallbacks land in
-        ``metrics`` (``record_capture``).
-    max_captures:
-        Shape budget: at most this many distinct batch shapes get their
-        own captured graph; further shapes are served eagerly.  Bulk
-        prediction needs two (the chunk size and the remainder), the
-        micro-batcher needs one (``pad_to`` pins the shape).
     """
 
-    def __init__(self, model, batch_size=64, spec=None, metrics=None,
-                 capture=False, max_captures=8):
+    def __init__(self, model, config=None, *, spec=None, metrics=None,
+                 **legacy):
         for method in ("predict_logits", "predict_proba"):
             if not callable(getattr(model, method, None)):
                 raise TypeError(
                     f"model {type(model).__name__} does not implement the "
                     f"inference protocol ({method}); registry models gain "
                     "it from repro.nn.InferenceMixin")
+        self.config = resolve_config(config, legacy, owner="Predictor")
         self.model = model
-        self.batch_size = int(batch_size)
-        if self.batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
+        self.batch_size = self.config.batch_size
         self.spec = spec if spec is not None else getattr(model, "spec", None)
         self.metrics = metrics
-        self.capture = bool(capture)
-        self.max_captures = int(max_captures)
+        self.capture = bool(self.config.capture)
+        self.max_captures = self.config.max_captures
         self._graphs = {}
         self._capture_broken = False
 
@@ -261,10 +253,30 @@ class Predictor:
         return probabilities.argmax(axis=-1)
 
     # ------------------------------------------------------------------
+    # Streaming inference
+    # ------------------------------------------------------------------
+    def start_stream(self, batch_size=1):
+        """Open a :class:`~repro.serve.StreamingSession` on this model.
+
+        Each :meth:`step` on the returned session consumes one timestep
+        slice and yields probabilities bit-identical to
+        :meth:`predict_proba` over the same prefix (O(1) per step for
+        natively streaming models, exact prefix replay otherwise).
+        """
+        from .streaming import StreamingSession
+        return StreamingSession(self.model, batch_size=batch_size,
+                                spec=self.spec, metrics=self.metrics)
+
+    def step(self, session, values_t, mask_t=None, deltas_t=None):
+        """Feed one observation row into a session from :meth:`start_stream`."""
+        return session.step(values_t, mask_t=mask_t, deltas_t=deltas_t)
+
+    # ------------------------------------------------------------------
     # Loading from run directories
     # ------------------------------------------------------------------
     @classmethod
-    def load(cls, run_dir, checkpoint="best", metrics=None, capture=None):
+    def load(cls, run_dir, checkpoint="best", metrics=None, capture=None,
+             config=None, persist=True):
         """Rebuild a predictor from a training run directory.
 
         Parameters
@@ -282,6 +294,18 @@ class Predictor:
             off when absent).  An explicit ``True``/``False`` both
             applies *and persists* the choice, so later loads of the
             same run directory keep it.
+        config:
+            An explicit :class:`~repro.serve.ServeConfig`, overriding
+            the run directory's persisted ``serve`` block entirely —
+            and persisted back into it, so the configuration
+            round-trips: a later ``Predictor.load(run_dir)`` restores
+            it.  Without it the persisted block is used (top-level
+            training ``batch_size`` fills the gap for pre-ServeConfig
+            run directories).
+        persist:
+            Set ``False`` to never write ``config.json`` back —
+            replica-pool workers do this to avoid racing on the shared
+            run directory.
 
         The model is rebuilt under the *current* precision policy
         (:func:`repro.nn.get_default_dtype`); a checkpoint stored in a
@@ -300,8 +324,8 @@ class Predictor:
             raise FileNotFoundError(
                 f"no config.json under {run_dir}; train with run_dir=... "
                 "(CLI: --run-dir) to produce a servable run directory")
-        config = json.loads(config_path.read_text())
-        spec_payload = config.get("model_spec")
+        run_config = json.loads(config_path.read_text())
+        spec_payload = run_config.get("model_spec")
         if not spec_payload:
             raise ValueError(
                 f"{config_path} has no model_spec entry; re-train with a "
@@ -319,20 +343,27 @@ class Predictor:
                                     f"{run_dir / 'checkpoints'}")
         load_weights(model, weights)
 
-        serve_config = config.get("serve") or {}
-        if capture is None:
-            capture = bool(serve_config.get("capture", False))
-        elif bool(capture) != serve_config.get("capture"):
-            serve_config["capture"] = bool(capture)
-            config["serve"] = serve_config
+        persisted = ServeConfig.from_run_config(run_config)
+        if config is not None and capture is not None:
+            raise TypeError("pass either config= or capture=, not both "
+                            "(set capture on the ServeConfig)")
+        if config is not None:
+            serve_config = config
+        elif capture is not None:
+            serve_config = persisted.replace(capture=bool(capture))
+        else:
+            serve_config = persisted
+        explicit = config is not None or capture is not None
+        if persist and explicit and serve_config != persisted:
+            run_config["serve"] = serve_config.to_dict()
             config_path.write_text(
-                json.dumps(config, indent=2, sort_keys=True) + "\n")
+                json.dumps(run_config, indent=2, sort_keys=True) + "\n")
 
-        return cls(model, batch_size=int(config.get("batch_size", 64)),
-                   spec=spec, metrics=metrics, capture=capture)
+        return cls(model, serve_config, spec=spec, metrics=metrics)
 
 
-def load_predictor(run_dir, checkpoint="best", metrics=None, capture=None):
+def load_predictor(run_dir, checkpoint="best", metrics=None, capture=None,
+                   config=None, persist=True):
     """Module-level alias for :meth:`Predictor.load`."""
     return Predictor.load(run_dir, checkpoint=checkpoint, metrics=metrics,
-                          capture=capture)
+                          capture=capture, config=config, persist=persist)

@@ -1,13 +1,16 @@
 """MicroBatcher: coalescing, bit-identity, threading, error fan-out."""
 
+import gc
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.baselines import build_model
 from repro.data import NUM_FEATURES
-from repro.serve import MicroBatcher, Predictor, ServeMetrics, ServeRequestError
+from repro.serve import (MicroBatcher, Predictor, ServeConfig,
+                         ServeMetrics, ServeRequestError)
 
 pytestmark = pytest.mark.serve
 
@@ -36,7 +39,8 @@ class TestLifecycle:
                 batcher.start()
 
     def test_stop_drains_outstanding_requests(self, predictor, rows):
-        batcher = MicroBatcher(predictor, max_batch_size=8, max_wait_ms=50)
+        batcher = MicroBatcher(predictor,
+                              ServeConfig(max_batch_size=8, max_wait_ms=50))
         batcher.start()
         handles = [batcher.submit(r) for r in rows[:8]]
         batcher.stop()
@@ -44,7 +48,8 @@ class TestLifecycle:
         assert all(h.result().shape == (1,) for h in handles)
 
     def test_oversized_request_rejected(self, predictor, tiny_dataset):
-        with MicroBatcher(predictor, max_batch_size=4) as batcher:
+        with MicroBatcher(predictor,
+                          ServeConfig(max_batch_size=4)) as batcher:
             with pytest.raises(ValueError, match="exceeds max_batch_size"):
                 batcher.submit(tiny_dataset.subset(np.arange(5)))
 
@@ -59,8 +64,9 @@ class TestBitIdentity:
             for i, row in enumerate(rows)
         }
         results = {}
-        with MicroBatcher(predictor, max_batch_size=16,
-                          max_wait_ms=20) as batcher:
+        with MicroBatcher(predictor,
+                          ServeConfig(max_batch_size=16,
+                                      max_wait_ms=20)) as batcher:
             def client(indices):
                 for i in indices:
                     results[i] = batcher.predict_proba(rows[i], timeout=30)
@@ -83,8 +89,9 @@ class TestBitIdentity:
         starts = np.cumsum([0] + sizes[:-1])
         requests = [tiny_dataset.subset(np.arange(s, s + n))
                     for s, n in zip(starts, sizes)]
-        with MicroBatcher(predictor, max_batch_size=16,
-                          max_wait_ms=20) as batcher:
+        with MicroBatcher(predictor,
+                          ServeConfig(max_batch_size=16,
+                                      max_wait_ms=20)) as batcher:
             handles = [batcher.submit(r) for r in requests]
             outputs = [h.result(timeout=30) for h in handles]
         for request, output, n in zip(requests, outputs, sizes):
@@ -101,8 +108,9 @@ class TestThreadedStress:
         clients, per_client = 8, 25
         outcomes = [[] for _ in range(clients)]
 
-        with MicroBatcher(predictor, max_batch_size=16,
-                          max_wait_ms=2) as batcher:
+        with MicroBatcher(predictor,
+                          ServeConfig(max_batch_size=16,
+                                      max_wait_ms=2)) as batcher:
             def client(k):
                 for j in range(per_client):
                     row = rows[(k * per_client + j) % len(rows)]
@@ -136,8 +144,9 @@ class TestErrorPropagation:
             ever_observed=good.ever_observed, deltas=good.deltas,
             __len__=lambda self: 1))()
 
-        with MicroBatcher(predictor, max_batch_size=4,
-                          max_wait_ms=1) as batcher:
+        with MicroBatcher(predictor,
+                          ServeConfig(max_batch_size=4,
+                                      max_wait_ms=1)) as batcher:
             handle = batcher.submit(bad)
             with pytest.raises(ServeRequestError) as excinfo:
                 handle.result(timeout=30)
@@ -151,7 +160,8 @@ class TestMetricsIntegration:
     def test_requests_and_batches_recorded(self, predictor, rows):
         metrics = ServeMetrics("unit")
         batched = Predictor(predictor.model, metrics=metrics)
-        with MicroBatcher(batched, max_batch_size=8, max_wait_ms=20,
+        with MicroBatcher(batched,
+                          ServeConfig(max_batch_size=8, max_wait_ms=20),
                           metrics=metrics) as batcher:
             handles = [batcher.submit(r) for r in rows[:8]]
             for h in handles:
@@ -161,3 +171,58 @@ class TestMetricsIntegration:
         assert sum(size * count for size, count
                    in metrics.batch_size_histogram().items()) == 8
         assert metrics.p95_latency >= metrics.p50_latency > 0
+
+
+class TestGarbageCollection:
+    """Dropping an un-stopped batcher must not leak its worker thread.
+
+    The worker targets a detached ``_WorkerState`` (never the batcher),
+    and a ``weakref.finalize`` hook aborts it once the batcher becomes
+    unreachable; queued requests fail fast instead of hanging forever.
+    """
+
+    def test_dropped_batcher_stops_worker_and_fails_pending(self,
+                                                            predictor,
+                                                            rows):
+        class SlowPredictor:
+            # One row per forward, and a forward slow enough that the
+            # drop below deterministically lands while requests queue.
+            config = ServeConfig(max_batch_size=1, max_wait_ms=0)
+
+            def predict_logits(self, request_rows, pad_to=None):
+                time.sleep(0.5)
+                return predictor.predict_logits(request_rows,
+                                                pad_to=pad_to)
+
+        batcher = MicroBatcher(SlowPredictor())
+        batcher.start()
+        worker = batcher._worker
+        handles = [batcher.submit(rows[i]) for i in range(3)]
+        del batcher
+        gc.collect()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+        assert not any(t.name == "repro-serve-worker"
+                       for t in threading.enumerate())
+        # Every handle resolves promptly: served before the abort, or
+        # failed by it -- never a hang.
+        outcomes = []
+        for handle in handles:
+            try:
+                handle.result(timeout=5)
+                outcomes.append("served")
+            except ServeRequestError as error:
+                assert "dropped without stop()" in str(error.__cause__)
+                outcomes.append("failed")
+        assert "failed" in outcomes
+
+    def test_stopped_batcher_detaches_its_finalizer(self, predictor, rows):
+        batcher = MicroBatcher(predictor,
+                               ServeConfig(max_batch_size=4, max_wait_ms=1))
+        batcher.start()
+        assert batcher.predict_proba(rows[0], timeout=30).shape == (1,)
+        finalizer = batcher._finalizer
+        batcher.stop()
+        assert not finalizer.alive
+        assert not any(t.name == "repro-serve-worker"
+                       for t in threading.enumerate())

@@ -1,0 +1,202 @@
+"""ReplicaPool: multi-process correctness, backpressure, deadlines.
+
+The pool's bar is the same bit-identity bar as every other serving
+surface: probabilities coming back from a forked worker equal a local
+padded forward over the same rows, and sticky streaming steps equal the
+full-prefix forward.  On top of that sit the operational guarantees —
+real fan-out (≥2 pids answering), bounded in-flight requests, deadline
+misses that free their slot, and a clean stop that fails leftovers.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.spec import ModelSpec
+from repro.metrics.probability import sigmoid_probs
+from repro.serve import (Predictor, ReplicaPool, ServeConfig,
+                         ServeDeadlineError, ServeMetrics,
+                         ServeOverloadError, ServeRequestError,
+                         ServeWorkerError)
+from repro.serve.pool import _shard_for
+
+pytestmark = [pytest.mark.serve, pytest.mark.pool]
+
+POOL_CONFIG = ServeConfig(workers=2, max_batch_size=8, queue_depth=16,
+                          cache_capacity=64)
+
+
+@pytest.fixture(scope="module")
+def running_pool(trained_run):
+    _, run_dir = trained_run
+    pool = ReplicaPool(run_dir, config=POOL_CONFIG,
+                       metrics=ServeMetrics(label="pool-test"))
+    with pool:
+        yield pool
+
+
+@pytest.fixture(scope="module")
+def local_predictor(trained_run):
+    """In-process reference the workers must match bit for bit."""
+    _, run_dir = trained_run
+    return Predictor.load(run_dir, persist=False)
+
+
+class TestPoolCorrectness:
+    def test_predicts_match_local_padded_forward(self, running_pool,
+                                                 local_predictor,
+                                                 serve_splits):
+        for i in range(6):
+            row = serve_splits.test.subset([i])
+            probs = running_pool.predict_proba(row, timeout=30)
+            expected = sigmoid_probs(local_predictor.predict_logits(
+                row, pad_to=POOL_CONFIG.max_batch_size))
+            assert np.array_equal(probs, expected), f"row {i}"
+
+    def test_multi_row_request(self, running_pool, local_predictor,
+                               serve_splits):
+        rows = serve_splits.test.subset([0, 1, 2])
+        probs = running_pool.predict_proba(rows, timeout=30)
+        expected = sigmoid_probs(local_predictor.predict_logits(
+            rows, pad_to=POOL_CONFIG.max_batch_size))
+        assert probs.shape == (3,)
+        assert np.array_equal(probs, expected)
+
+    def test_oversized_request_is_rejected(self, running_pool,
+                                           serve_splits):
+        too_many = [i % len(serve_splits.test)
+                    for i in range(POOL_CONFIG.max_batch_size + 1)]
+        with pytest.raises(ValueError, match="max_batch_size"):
+            running_pool.submit(serve_splits.test.subset(too_many))
+
+    def test_fanout_reaches_both_workers(self, running_pool, serve_splits):
+        futures = [running_pool.submit(serve_splits.test.subset([i % 4]))
+                   for i in range(12)]
+        for future in futures:
+            future.result(timeout=30)
+        assert len(running_pool.worker_pids) == 2
+        assert running_pool.served_pids == set(running_pool.worker_pids)
+
+    def test_streaming_steps_match_full_prefix(self, running_pool,
+                                               local_predictor,
+                                               serve_splits):
+        row = serve_splits.test.subset([0])
+        for t in range(1, 4):
+            probs = running_pool.step(
+                "pool-test-admission", row.values[:, t - 1],
+                mask_t=row.mask[:, t - 1], deltas_t=row.deltas[:, t - 1],
+                timeout=30)
+            expected = sigmoid_probs(local_predictor.predict_logits(
+                row.truncate(t)))
+            assert np.array_equal(probs, expected), f"prefix {t}"
+
+    def test_worker_error_propagates_with_details(self, running_pool):
+        from repro.data import NUM_FEATURES
+        bad = np.full((1, NUM_FEATURES), np.nan)
+        with pytest.raises(ServeWorkerError, match="NaN"):
+            running_pool.step("nan-admission", bad, timeout=30)
+
+    def test_sticky_sharding_is_process_stable(self):
+        for admission_id in ("a", "b", 17, ("x", 3)):
+            index = _shard_for(admission_id, 4)
+            assert index == _shard_for(admission_id, 4)
+            assert 0 <= index < 4
+
+
+class TestBackpressureAndDeadlines:
+    def test_queue_depth_bounds_in_flight(self, trained_run, serve_splits):
+        _, run_dir = trained_run
+        pool = ReplicaPool(run_dir,
+                           config=POOL_CONFIG.replace(queue_depth=2))
+        with pool:
+            _, first = pool._register()
+            _, second = pool._register()
+            assert pool.in_flight == 2
+            with pytest.raises(ServeOverloadError, match="queue_depth"):
+                pool.submit(serve_splits.test.subset([0]))
+            # Abandoning one in-flight request frees its slot.
+            assert pool._abandon(first) is True
+            probs = pool.predict_proba(serve_splits.test.subset([0]),
+                                       timeout=30)
+            assert probs.shape == (1,)
+        # stop() fails whatever was still pending.
+        with pytest.raises(ServeRequestError, match="stopped"):
+            second.result(timeout=1)
+
+    def test_deadline_miss_raises_and_frees_slot(self, running_pool):
+        from repro.serve import AsyncServeFrontend
+
+        async def _main():
+            frontend = AsyncServeFrontend(running_pool)
+            _, future = running_pool._register()  # never resolved
+            before = running_pool.in_flight
+            with pytest.raises(ServeDeadlineError, match="deadline"):
+                await frontend._await_future(future, 20)
+            assert frontend.deadline_misses == 1
+            assert running_pool.in_flight == before - 1
+
+        asyncio.run(_main())
+
+    def test_frontend_serves_through_the_pool(self, running_pool,
+                                              local_predictor,
+                                              serve_splits):
+        from repro.serve import AsyncServeFrontend
+        row = serve_splits.test.subset([1])
+
+        async def _main():
+            frontend = AsyncServeFrontend(
+                running_pool, config=running_pool.config.replace(
+                    deadline_ms=30_000))
+            return await frontend.predict_proba(row)
+
+        probs = asyncio.run(_main())
+        expected = sigmoid_probs(local_predictor.predict_logits(
+            row, pad_to=POOL_CONFIG.max_batch_size))
+        assert np.array_equal(probs, expected)
+
+
+class TestLifecycle:
+    def test_submit_requires_running_pool(self, trained_run, serve_splits):
+        _, run_dir = trained_run
+        pool = ReplicaPool(run_dir, config=POOL_CONFIG)
+        with pytest.raises(RuntimeError, match="not running"):
+            pool.submit(serve_splits.test.subset([0]))
+
+    def test_stop_terminates_workers_and_merges_metrics(self, trained_run,
+                                                        serve_splits):
+        _, run_dir = trained_run
+        metrics = ServeMetrics(label="lifecycle")
+        pool = ReplicaPool(run_dir, config=POOL_CONFIG, metrics=metrics)
+        with pool:
+            pool.predict_proba(serve_splits.test.subset([0]), timeout=30)
+            processes = list(pool._processes)
+        assert all(not p.is_alive() for p in processes)
+        # The worker's own batch accounting merged in at shutdown.
+        assert metrics.batch_count >= 1
+        assert metrics.request_count >= 1
+
+    def test_bad_run_dir_fails_startup_loudly(self, tmp_path):
+        run_dir = tmp_path / "broken-run"
+        run_dir.mkdir()
+        (run_dir / "config.json").write_text(json.dumps({"batch_size": 8}))
+        pool = ReplicaPool(run_dir, config=POOL_CONFIG)
+        with pytest.raises(RuntimeError, match="replica startup failed"):
+            pool.start()
+        assert not pool._processes
+
+
+class TestSpecFingerprint:
+    def test_fingerprint_is_stable_and_spec_sensitive(self, local_predictor):
+        spec = local_predictor.spec
+        assert isinstance(spec, ModelSpec)
+        fingerprint = spec.fingerprint()
+        assert len(fingerprint) == 16
+        assert fingerprint == spec.fingerprint()
+        assert ModelSpec.from_dict(spec.to_dict()).fingerprint() \
+            == fingerprint
+        other = spec.to_dict()
+        other["hyperparameters"] = dict(other["hyperparameters"],
+                                        hidden_size=9)
+        assert ModelSpec.from_dict(other).fingerprint() != fingerprint

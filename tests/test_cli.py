@@ -268,3 +268,100 @@ class TestRunDirAndResume:
         assert "4 epochs" in out.getvalue()
         lines = (run_dir / "metrics.jsonl").read_text().splitlines()
         assert len(lines) == 4  # 2 original + 2 resumed
+
+
+class TestTriStateCapture:
+    """One --capture convention across predict/serve/loadtest."""
+
+    @pytest.mark.parametrize("command", ["predict", "serve", "loadtest"])
+    def test_defaults_to_auto(self, command):
+        args = build_parser().parse_args([command, "--run-dir", "runs/x"])
+        assert args.capture == "auto"
+
+    @pytest.mark.parametrize("command", ["predict", "serve", "loadtest"])
+    def test_bare_flag_means_on(self, command):
+        args = build_parser().parse_args(
+            [command, "--run-dir", "runs/x", "--capture"])
+        assert args.capture == "on"
+
+    @pytest.mark.parametrize("value", ["on", "off", "auto"])
+    def test_explicit_values(self, value):
+        args = build_parser().parse_args(
+            ["serve", "--run-dir", "runs/x", "--capture", value])
+        assert args.capture == value
+
+    def test_rejects_other_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--run-dir", "runs/x", "--capture", "maybe"])
+
+
+class TestLoadtestCommand:
+    @pytest.fixture(scope="class")
+    def trained_run_dir(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("cli-loadtest") / "run"
+        code = main(["train", "--model", "GRU", "--epochs", "1",
+                     "--run-dir", str(run_dir)], out=io.StringIO())
+        assert code == 0
+        return run_dir
+
+    def test_parses_loadtest_options(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--run-dir", "runs/x", "--workers", "3",
+             "--requests", "12", "--streams", "2", "--deadline-ms", "50",
+             "--queue-depth", "9", "--check-floor", "floor.json"])
+        assert (args.run_dir, args.workers, args.requests, args.streams) \
+            == ("runs/x", 3, 12, 2)
+        assert (args.deadline_ms, args.queue_depth, args.check_floor) \
+            == (50.0, 9, "floor.json")
+
+    def test_serve_config_flags_default_to_persisted(self):
+        """Unset flags stay None so the run dir's serve block wins."""
+        args = build_parser().parse_args(
+            ["loadtest", "--run-dir", "runs/x"])
+        assert args.workers is None
+        assert args.max_batch_size is None
+        assert args.cache_capacity is None
+        serve_args = build_parser().parse_args(
+            ["serve", "--run-dir", "runs/x"])
+        assert serve_args.max_batch_size is None
+        assert serve_args.max_wait_ms is None
+
+    def test_loadtest_requires_run_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest"])
+
+    @pytest.mark.pool
+    def test_loadtest_end_to_end_with_floor(self, trained_run_dir,
+                                            tmp_path):
+        floor_path = tmp_path / "floor.json"
+        floor_path.write_text(
+            '{"min_observed_workers": 2, "max_errors": 0}')
+        out = io.StringIO()
+        code = main(["loadtest", "--run-dir", str(trained_run_dir),
+                     "--workers", "2", "--max-batch-size", "8",
+                     "--requests", "8", "--streams", "2",
+                     "--stream-steps", "2", "--concurrency", "4",
+                     "--max-seconds", "60", "--out", str(tmp_path),
+                     "--check-floor", str(floor_path)], out=out)
+        text = out.getvalue()
+        assert code == 0, text
+        assert "p50 latency" in text
+        assert "p99 latency" in text
+        assert "throughput" in text
+        assert "2 of 2 answered" in text
+        assert f"floor {floor_path} holds" in text
+        assert len(list(tmp_path.glob("SERVE_*.json"))) == 1
+
+    @pytest.mark.pool
+    def test_floor_violation_fails_the_command(self, trained_run_dir,
+                                               tmp_path):
+        floor_path = tmp_path / "floor.json"
+        floor_path.write_text('{"min_throughput_rps": 1e12}')
+        out = io.StringIO()
+        code = main(["loadtest", "--run-dir", str(trained_run_dir),
+                     "--workers", "2", "--requests", "4", "--streams", "0",
+                     "--max-seconds", "60", "--no-json",
+                     "--check-floor", str(floor_path)], out=out)
+        assert code == 1
+        assert "FLOOR VIOLATION" in out.getvalue()
