@@ -26,7 +26,7 @@ from time import perf_counter
 
 from ..nn.backend import xp as np
 
-from .config import resolve_config
+from .config import ServeConfig, resolve_config
 from .metrics import ServeMetrics
 from .pool import AsyncServeFrontend, ReplicaPool, ServeDeadlineError
 
@@ -102,7 +102,17 @@ def run_loadtest(run_dir, checkpoint="best", config=None, *,
     given the full metrics payload (report under ``extra.loadtest``) is
     written as ``SERVE_*.json``; the report also carries the output path.
     """
-    config = resolve_config(config, legacy, owner="run_loadtest")
+    # Seed defaults from the run directory's persisted ``serve`` block
+    # (exactly like ReplicaPool does) so a bare ``repro loadtest``
+    # honors the run's recorded serving preferences instead of
+    # silently falling back to ServeConfig() defaults.
+    base = None
+    config_path = Path(run_dir) / "config.json"
+    if config_path.exists():
+        base = ServeConfig.from_run_config(
+            json.loads(config_path.read_text()))
+    config = resolve_config(config, legacy, owner="run_loadtest",
+                            base=base)
     predict_rows, stream_jobs = _workload(num_requests, num_streams,
                                           stream_steps, seed)
     metrics = ServeMetrics(label=label or f"loadtest-{Path(run_dir).name}")

@@ -36,6 +36,7 @@ when it eventually arrives).
 
 from __future__ import annotations
 
+import itertools
 import json
 import multiprocessing
 import os
@@ -124,15 +125,16 @@ def _worker_main(index, run_dir, checkpoint, config_payload, requests,
             responses.put((rid, True, probs[offset:offset + n], pid))
             offset += n
 
+    pending = None
     while True:
-        message = requests.get()
+        message = pending if pending is not None else requests.get()
+        pending = None
         if message is None:
             responses.put((_EXIT, index, pid, metrics.snapshot()))
             return
         if message[0] == "predict":
             batch = [(message[1], message[2])]
             rows = len(message[2])
-            extras = []
             while rows < config.max_batch_size:
                 try:
                     extra = requests.get_nowait()
@@ -143,15 +145,19 @@ def _worker_main(index, run_dir, checkpoint, config_payload, requests,
                     batch.append((extra[1], extra[2]))
                     rows += len(extra[2])
                 else:
-                    # Sentinel or a step request: handle after the batch.
-                    extras.append(extra)
+                    if extra is None:
+                        serve_predicts(batch)
+                        responses.put(
+                            (_EXIT, index, pid, metrics.snapshot()))
+                        return
+                    # A step, or a predict that overflows this batch:
+                    # carry it back to the outer dispatch so it is
+                    # handled by kind (an overflow predict leads the
+                    # next batch) instead of being mis-unpacked as a
+                    # step.
+                    pending = extra
                     break
             serve_predicts(batch)
-            for extra in extras:
-                if extra is None:
-                    responses.put((_EXIT, index, pid, metrics.snapshot()))
-                    return
-                _serve_step(extra, store, responses, pid)
         else:
             _serve_step(message, store, responses, pid)
 
@@ -215,7 +221,10 @@ class ReplicaPool:
         self._pending = {}
         self._pending_lock = threading.Lock()
         self._rid = 0
-        self._round_robin = 0
+        # itertools.count: next() is atomic under the GIL, so concurrent
+        # submit() calls (the class promises thread-safety) cannot skew
+        # the round-robin distribution via a read-modify-write race.
+        self._round_robin = itertools.count()
         self._served_pids = set()
         self._worker_pids = []
 
@@ -240,23 +249,50 @@ class ReplicaPool:
             self._processes.append(process)
 
         # Ready handshake: every replica must rebuild the *same* model.
+        # Any failure here (a worker that died before reporting, a
+        # timeout, a fingerprint mismatch) tears down every process that
+        # did start, so a broken startup never leaks live replicas.
         fingerprints = {}
-        for _ in range(self.workers):
-            kind, index, pid, fingerprint = self._responses.get(timeout=120)
-            if kind != _READY:
-                raise RuntimeError(f"unexpected startup message {kind!r}")
-            fingerprints[index] = fingerprint
-            self._worker_pids.append(pid)
-        failed = {i: f for i, f in fingerprints.items()
-                  if str(f).startswith("error:")}
-        if failed:
+        try:
+            deadline = perf_counter() + 120.0
+            while len(fingerprints) < self.workers:
+                try:
+                    kind, index, pid, fingerprint = self._responses.get(
+                        timeout=1.0)
+                except queue_module.Empty:
+                    dead = [i for i, process in enumerate(self._processes)
+                            if i not in fingerprints
+                            and not process.is_alive()]
+                    if dead:
+                        codes = {i: self._processes[i].exitcode
+                                 for i in dead}
+                        raise RuntimeError(
+                            f"replica worker(s) {dead} died before "
+                            f"reporting ready (exit codes {codes})")
+                    if perf_counter() > deadline:
+                        raise RuntimeError(
+                            f"replica startup timed out: only "
+                            f"{len(fingerprints)} of {self.workers} "
+                            "workers reported ready within 120 s")
+                    continue
+                if kind != _READY:
+                    raise RuntimeError(
+                        f"unexpected startup message {kind!r}")
+                fingerprints[index] = fingerprint
+                self._worker_pids.append(pid)
+            failed = {i: f for i, f in fingerprints.items()
+                      if str(f).startswith("error:")}
+            if failed:
+                raise RuntimeError(f"replica startup failed: {failed}")
+            if len(set(fingerprints.values())) != 1:
+                raise RuntimeError(
+                    f"replicas disagree on the model spec: "
+                    f"{fingerprints} — the run directory changed "
+                    "underneath the pool?")
+        except BaseException:
             self._teardown_processes()
-            raise RuntimeError(f"replica startup failed: {failed}")
-        if len(set(fingerprints.values())) != 1:
-            self._teardown_processes()
-            raise RuntimeError(
-                f"replicas disagree on the model spec: {fingerprints} — "
-                "the run directory changed underneath the pool?")
+            self._worker_pids = []
+            raise
 
         self._collector = threading.Thread(target=self._collect_loop,
                                            name="repro-serve-collector",
@@ -373,8 +409,7 @@ class ReplicaPool:
             raise ValueError(f"request of {len(rows)} rows exceeds "
                              f"max_batch_size={self.config.max_batch_size}")
         rid, future = self._register()
-        index = self._round_robin % self.workers
-        self._round_robin += 1
+        index = next(self._round_robin) % self.workers
         self._request_queues[index].put(("predict", rid, rows))
         return future
 

@@ -67,6 +67,67 @@ class TestReportSchema:
         assert payload["batches"] >= 1
 
 
+class TestConfigResolution:
+    """run_loadtest must honor the run dir's persisted ``serve`` block
+    (regression: config=None silently fell back to ServeConfig())."""
+
+    def _capture_pool_config(self, monkeypatch):
+        import repro.serve.loadtest as loadtest_module
+        captured = {}
+
+        class _StopBeforeStart(Exception):
+            pass
+
+        def _fake_pool(run_dir, checkpoint="best", config=None, *,
+                       metrics=None):
+            captured["config"] = config
+            raise _StopBeforeStart
+
+        monkeypatch.setattr(loadtest_module, "ReplicaPool", _fake_pool)
+        return captured, _StopBeforeStart
+
+    @pytest.fixture
+    def persisted_run_dir(self, tmp_path):
+        run_dir = tmp_path / "persisted-run"
+        run_dir.mkdir()
+        (run_dir / "config.json").write_text(json.dumps({
+            "batch_size": 16,
+            "serve": {"workers": 3, "queue_depth": 7},
+        }))
+        return run_dir
+
+    def test_defaults_come_from_persisted_serve_block(
+            self, persisted_run_dir, monkeypatch):
+        captured, stop = self._capture_pool_config(monkeypatch)
+        with pytest.raises(stop):
+            run_loadtest(persisted_run_dir, num_requests=1, num_streams=1,
+                         stream_steps=1)
+        config = captured["config"]
+        assert config.workers == 3
+        assert config.queue_depth == 7
+        assert config.batch_size == 16
+
+    def test_legacy_kwargs_overlay_the_persisted_block(
+            self, persisted_run_dir, monkeypatch):
+        captured, stop = self._capture_pool_config(monkeypatch)
+        with pytest.warns(DeprecationWarning, match="workers"):
+            with pytest.raises(stop):
+                run_loadtest(persisted_run_dir, num_requests=1,
+                             num_streams=1, stream_steps=1, workers=5)
+        config = captured["config"]
+        assert config.workers == 5
+        assert config.queue_depth == 7  # persisted value survives
+
+    def test_explicit_config_wins_outright(self, persisted_run_dir,
+                                           monkeypatch):
+        captured, stop = self._capture_pool_config(monkeypatch)
+        explicit = ServeConfig(workers=4)
+        with pytest.raises(stop):
+            run_loadtest(persisted_run_dir, config=explicit, num_requests=1,
+                         num_streams=1, stream_steps=1)
+        assert captured["config"] is explicit
+
+
 class TestFloor:
     def test_committed_floor_file_is_well_formed(self):
         floor = json.loads(FLOOR_PATH.read_text())

@@ -10,6 +10,8 @@ misses that free their slot, and a clean stop that fails leftovers.
 
 import asyncio
 import json
+import os
+import queue as queue_module
 
 import numpy as np
 import pytest
@@ -20,7 +22,7 @@ from repro.serve import (Predictor, ReplicaPool, ServeConfig,
                          ServeDeadlineError, ServeMetrics,
                          ServeOverloadError, ServeRequestError,
                          ServeWorkerError)
-from repro.serve.pool import _shard_for
+from repro.serve.pool import _EXIT, _READY, _shard_for, _worker_main
 
 pytestmark = [pytest.mark.serve, pytest.mark.pool]
 
@@ -104,6 +106,101 @@ class TestPoolCorrectness:
             assert index == _shard_for(admission_id, 4)
             assert 0 <= index < 4
 
+    def test_concurrent_overflowing_predicts_all_resolve(self, running_pool,
+                                                         serve_splits):
+        # Pairs of 5-row predicts sum past max_batch_size=8; the
+        # non-fitting one must lead its own batch, not crash the worker
+        # (regression: it was mis-dispatched as a streaming step).
+        rows = serve_splits.test.subset([0, 1, 2, 3, 4])
+        futures = [running_pool.submit(rows) for _ in range(6)]
+        for future in futures:
+            assert future.result(timeout=30).shape == (5,)
+
+
+class TestWorkerCoalescing:
+    """``_worker_main`` run in-process over plain queues.
+
+    Pre-filling the request queue before the worker loop starts makes
+    the coalescing edge cases (overflow predicts, interleaved steps,
+    the sentinel arriving mid-coalesce) deterministic — no forked
+    processes, no timing races.
+    """
+
+    def _run_worker(self, run_dir, config, messages):
+        requests, responses = queue_module.Queue(), queue_module.Queue()
+        for message in messages:
+            requests.put(message)
+        _worker_main(0, str(run_dir), "best", config.to_dict(),
+                     requests, responses)
+        results = []
+        while True:
+            try:
+                results.append(responses.get_nowait())
+            except queue_module.Empty:
+                return results
+
+    def test_overflow_predict_leads_the_next_batch(self, trained_run,
+                                                   local_predictor,
+                                                   serve_splits):
+        _, run_dir = trained_run
+        config = POOL_CONFIG.replace(workers=1, max_batch_size=4)
+        rows = serve_splits.test.subset([0, 1, 2])
+        # 3 + 3 rows > max_batch_size=4: the second predict cannot
+        # coalesce into the first batch and must be served as its own.
+        results = self._run_worker(run_dir, config, [
+            ("predict", 1, rows), ("predict", 2, rows), None])
+        ready, first, second, exited = results
+        assert ready[0] == _READY
+        assert not str(ready[3]).startswith("error:")
+        assert exited[0] == _EXIT
+        expected = sigmoid_probs(local_predictor.predict_logits(
+            rows, pad_to=config.max_batch_size))
+        for rid, response in ((1, first), (2, second)):
+            got_rid, ok, payload, _pid = response
+            assert got_rid == rid and ok is True
+            assert np.array_equal(payload, expected)
+
+    def test_step_drained_mid_coalesce_is_served_as_step(self, trained_run,
+                                                         local_predictor,
+                                                         serve_splits):
+        _, run_dir = trained_run
+        config = POOL_CONFIG.replace(workers=1)
+        rows = serve_splits.test.subset([1, 2])
+        row = serve_splits.test.subset([0])
+        results = self._run_worker(run_dir, config, [
+            ("predict", 1, rows),
+            ("step", 2, "coalesce-admission", row.values[:, 0],
+             row.mask[:, 0], row.deltas[:, 0]),
+            ("predict", 3, rows),
+            None])
+        ready, first, step, third, exited = results
+        assert ready[0] == _READY and exited[0] == _EXIT
+        expected_rows = sigmoid_probs(local_predictor.predict_logits(
+            rows, pad_to=config.max_batch_size))
+        for rid, response in ((1, first), (3, third)):
+            got_rid, ok, payload, _pid = response
+            assert got_rid == rid and ok is True
+            assert np.array_equal(payload, expected_rows)
+        got_rid, ok, payload, _pid = step
+        assert got_rid == 2 and ok is True
+        assert np.array_equal(payload, sigmoid_probs(
+            local_predictor.predict_logits(row.truncate(1))))
+
+    def test_sentinel_drained_mid_coalesce_still_serves_batch(
+            self, trained_run, local_predictor, serve_splits):
+        _, run_dir = trained_run
+        config = POOL_CONFIG.replace(workers=1)
+        rows = serve_splits.test.subset([0])
+        results = self._run_worker(run_dir, config,
+                                   [("predict", 1, rows), None])
+        ready, first, exited = results
+        assert ready[0] == _READY and exited[0] == _EXIT
+        got_rid, ok, payload, _pid = first
+        assert got_rid == 1 and ok is True
+        assert np.array_equal(payload, sigmoid_probs(
+            local_predictor.predict_logits(
+                rows, pad_to=config.max_batch_size)))
+
 
 class TestBackpressureAndDeadlines:
     def test_queue_depth_bounds_in_flight(self, trained_run, serve_splits):
@@ -185,6 +282,35 @@ class TestLifecycle:
         with pytest.raises(RuntimeError, match="replica startup failed"):
             pool.start()
         assert not pool._processes
+
+    def test_worker_death_before_ready_tears_down_survivors(
+            self, trained_run, tmp_path, monkeypatch):
+        """A replica dying before its handshake must not leak the live
+        ones: start() fails fast and terminates every started process."""
+        import repro.serve.pool as pool_module
+        _, run_dir = trained_run
+        pid_file = tmp_path / "survivor.pid"
+
+        def _flaky_worker(index, run_dir, checkpoint, config_payload,
+                          requests, responses):
+            if index == 0:
+                os._exit(3)  # dies before _READY, like a segfault would
+            pid_file.write_text(str(os.getpid()))
+            responses.put((_READY, index, os.getpid(), "fingerprint"))
+            while requests.get() is not None:
+                pass
+
+        monkeypatch.setattr(pool_module, "_worker_main", _flaky_worker)
+        pool = ReplicaPool(run_dir, config=POOL_CONFIG)
+        with pytest.raises(RuntimeError, match="died before reporting "
+                                               "ready"):
+            pool.start()
+        assert pool._processes == []
+        assert pool._worker_pids == []
+        # The healthy replica was terminated and reaped, not leaked.
+        survivor = int(pid_file.read_text())
+        with pytest.raises(OSError):
+            os.kill(survivor, 0)
 
 
 class TestSpecFingerprint:
