@@ -47,9 +47,33 @@ class PerFeatureGRU(Module):
         batch, steps, _ = values.shape
         # State laid out (C, B, H) so the stacked matmul batches over C.
         h = self.initial_state(batch)
-        for x_t in ops.unbind_time(values):              # each (B, C)
-            h = self.stream_step(h, x_t)
+        # Hoist every per-feature input projection out of the time loop:
+        # one broadcast (C, T, B, 1) @ (C, 1, 1, 3H) batched GEMM covers
+        # all timesteps (PR 10); the loop keeps only the recurrent GEMM.
+        # With K=1 the projection is an outer product — elementwise — so
+        # slicing a timestep out of the batched result is bit-identical
+        # to projecting that timestep alone (the streaming path relies
+        # on this).
+        x_all = values.transpose((2, 1, 0)).reshape(
+            self.num_features, steps, batch, 1)
+        gates_x = ops.matmul(x_all, self.w_ih.reshape(
+            self.num_features, 1, 1, 3 * self.hidden_size)) \
+            + self.bias.reshape(self.num_features, 1, 1,
+                                3 * self.hidden_size)
+        for t in range(steps):
+            h = self._recur_step(h, gates_x[:, t])
         return h.transpose((1, 0, 2))                    # (B, C, H)
+
+    def _recur_step(self, h, gates_x):
+        """Advance the stacked recurrence one step given the already-
+        projected input gates ``(C, B, 3H)``."""
+        gates_h = ops.matmul(h, self.w_hh)
+        zx, rx, nx = ops.split(gates_x, 3, axis=-1)
+        zh, rh, nh = ops.split(gates_h, 3, axis=-1)
+        update = ops.sigmoid(zx + zh)
+        reset = ops.sigmoid(rx + rh)
+        candidate = ops.tanh(nx + reset * nh)
+        return update * h + (1.0 - update) * candidate
 
     # -- streaming inference (serve tier) ------------------------------
     def initial_state(self, batch_size):
@@ -58,22 +82,18 @@ class PerFeatureGRU(Module):
             (self.num_features, batch_size, self.hidden_size)))
 
     def stream_step(self, h, x_t):
-        """One stacked per-feature GRU step — the loop body verbatim.
+        """One stacked per-feature GRU step for one timestep slice.
 
         ``x_t`` is a ``(B, C)`` tensor; returns the new ``(C, B, H)``
-        state.  Same ops, same shapes as one :meth:`forward` iteration.
+        state.  The input projection here is the single-timestep form of
+        the batched pre-loop projection in :meth:`forward` — with K=1
+        both are outer products, so the two paths agree bit-for-bit.
         """
         batch = x_t.shape[0]
         x_t = x_t.transpose().reshape(self.num_features, batch, 1)
         gates_x = ops.matmul(x_t, self.w_ih) + self.bias.reshape(
             self.num_features, 1, 3 * self.hidden_size)
-        gates_h = ops.matmul(h, self.w_hh)
-        zx, rx, nx = ops.split(gates_x, 3, axis=-1)
-        zh, rh, nh = ops.split(gates_h, 3, axis=-1)
-        update = ops.sigmoid(zx + zh)
-        reset = ops.sigmoid(rx + rh)
-        candidate = ops.tanh(nx + reset * nh)
-        return update * h + (1.0 - update) * candidate
+        return self._recur_step(h, gates_x)
 
 
 class ConCare(Module, InferenceMixin):

@@ -20,6 +20,7 @@ from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops
+from ..nn.dtype import get_default_dtype
 from ..nn.layers import (AdditiveAttention, BiGRU, Dense, GeneralAttention,
                          LocationAttention)
 from ..nn.inference import InferenceMixin
@@ -66,7 +67,17 @@ class Dipole(Module, InferenceMixin):
 
     def forward(self, values, return_attention=False):
         """Return logits and (optionally) the per-step attention weights."""
-        states = self.encoder(values)                    # (B, T, 2H)
+        return self._attend(self.encoder(values), return_attention)
+
+    def _attend(self, states, return_attention=False):
+        """The attention readout over the bidirectional states.
+
+        Split from :meth:`forward` so the streaming path can feed states
+        assembled from its incremental forward-direction cache.  Raises
+        on single-step prefixes (there are no earlier states to attend
+        over) — the streaming session keeps the buffered observation and
+        serves it once a second step arrives.
+        """
         last = states[:, -1, :]
         earlier = states[:, :-1, :]
         if self.variant == "location":
@@ -80,3 +91,37 @@ class Dipole(Module, InferenceMixin):
         if return_attention:
             return logits, weights.reshape(weights.shape[0], weights.shape[1])
         return logits, None
+
+    # -- streaming inference (serve tier) ------------------------------
+    stream_incremental = True
+
+    def stream_begin(self, batch_size):
+        return {
+            "h": self.encoder.forward_gru.initial_state(batch_size),
+            "fwd": [],
+            "values": [],
+        }
+
+    def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
+        """Incremental streaming: advance the forward GRU in O(1).
+
+        The forward-direction recurrence advances through
+        :func:`repro.nn.ops.gru_scan_step` (bit-identical to the fused
+        scan the full forward uses) and its states accumulate in the
+        cache; only the *backward* GRU — whose every state depends on
+        the newest step — reruns over the buffered prefix, as does the
+        attention readout.  The new observation is recorded into the
+        state before the readout, so the one-step prefix (which raises:
+        no earlier states) is retained and served at the next step.
+        """
+        v_t = np.asarray(values_t, dtype=get_default_dtype())
+        state["values"].append(v_t)
+        state["h"] = self.encoder.forward_gru.stream_step(v_t, state["h"])
+        state["fwd"].append(state["h"])
+        values = np.stack(state["values"], axis=1)
+        bwd = self.encoder.backward_gru(
+            nn.Tensor(values[:, ::-1, :]))[:, ::-1, :]
+        states = ops.concat(
+            [nn.Tensor(np.stack(state["fwd"], axis=1)), bwd], axis=-1)
+        logits, _ = self._attend(states)
+        return state, logits

@@ -10,6 +10,11 @@ state, driven by the time since each feature was last observed:
 where ``m`` is the observation mask, ``x'`` the last observed value, and
 ``x̄`` the empirical mean (zero after standardization).  The GRU then
 consumes ``[x̂_t ; m_t]``.
+
+By default the whole sequence runs through the sequence-fused
+:func:`repro.nn.ops.grud_scan` kernel (one graph node, every decay and
+gate projection hoisted into pre-loop GEMMs, one hand-derived backward);
+set ``fused_scan=False`` for the step-unrolled reference path.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops
+from ..nn.dtype import get_default_dtype
 from ..nn.layers import GRUCell
 from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
@@ -33,10 +39,11 @@ class GRUD(Module, InferenceMixin):
     observation mask, and the per-feature observation deltas.
     """
 
-    def __init__(self, num_features, rng, hidden_size=64):
+    def __init__(self, num_features, rng, hidden_size=64, fused_scan=True):
         super().__init__()
         self.num_features = num_features
         self.hidden_size = hidden_size
+        self.fused_scan = fused_scan
         self.input_decay = Parameter(np.full(num_features, 0.1))
         self.hidden_decay_w = Parameter(
             nn.init.glorot_uniform((num_features, hidden_size), rng))
@@ -47,11 +54,22 @@ class GRUD(Module, InferenceMixin):
 
     def forward_batch(self, batch):
         values = nn.Tensor(batch.values)                # LOCF-imputed x'
-        mask = nn.Tensor(batch.mask)                    # constant 0/1
         deltas = nn.Tensor(batch.deltas)
         batch_size, steps, _ = values.shape
+        h0 = nn.Tensor(np.zeros((batch_size, self.hidden_size)))
+        if self.fused_scan and self.cell.fused:
+            cell = self.cell
+            h = ops.grud_scan(values, batch.mask, deltas, h0,
+                              self.input_decay, self.hidden_decay_w,
+                              self.hidden_decay_b, cell.w_ih, cell.w_hh,
+                              cell.b_ih, cell.b_hh)
+        else:
+            h = self._reference_forward(values, nn.Tensor(batch.mask),
+                                        deltas, h0, steps)
+        return (ops.matmul(h, self.weight) + self.bias).reshape(-1)
 
-        h = nn.Tensor(np.zeros((batch_size, self.hidden_size)))
+    def _reference_forward(self, values, mask, deltas, h, steps):
+        """The step-unrolled composition (ground truth for the scan)."""
         value_steps = ops.unbind_time(values)
         delta_steps = ops.unbind_time(deltas)
         mask_steps = ops.unbind_time(mask)
@@ -66,33 +84,35 @@ class GRUD(Module, InferenceMixin):
             gamma_h = ops.exp(-ops.relu(
                 ops.matmul(delta_t, self.hidden_decay_w) + self.hidden_decay_b))
             h = self.cell(ops.concat([x_hat, m_t], axis=-1), gamma_h * h)
-        return (ops.matmul(h, self.weight) + self.bias).reshape(-1)
+        return h
 
     # -- streaming inference (serve tier) ------------------------------
     stream_native = True
 
     def stream_begin(self, batch_size):
-        return {"h": nn.Tensor(np.zeros((batch_size, self.hidden_size)))}
+        return {"h": np.zeros((batch_size, self.hidden_size),
+                              dtype=get_default_dtype())}
 
     def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
-        """One decayed GRU-D update — the per-step loop body verbatim.
+        """One decayed GRU-D update on plain arrays, O(1) in prefix length.
 
-        Runs the same tensor ops as :meth:`forward_batch` on one
-        timestep slice (the caller holds ``eval()`` + ``no_grad``), so
-        the streamed logits match the full forward at every prefix
+        Runs :func:`repro.nn.ops.grud_scan_step` — bit-identical to one
+        step of the fused scan that :meth:`forward_batch` uses — so the
+        streamed logits match the full forward at every prefix
         bit-for-bit.
         """
-        n, channels = np.asarray(values_t).shape
-        v_t = nn.Tensor(values_t)
-        m_t = nn.Tensor(np.ones((n, channels), dtype=bool)
-                        if mask_t is None else mask_t)
-        delta_t = nn.Tensor(np.zeros((n, channels))
-                            if deltas_t is None else deltas_t)
-        gamma_x = ops.exp(-ops.relu(delta_t * self.input_decay))
-        x_hat = m_t * v_t + (1.0 - m_t) * gamma_x * v_t
-        gamma_h = ops.exp(-ops.relu(
-            ops.matmul(delta_t, self.hidden_decay_w) + self.hidden_decay_b))
-        h = self.cell(ops.concat([x_hat, m_t], axis=-1),
-                      gamma_h * state["h"])
-        logits = (ops.matmul(h, self.weight) + self.bias).reshape(-1)
-        return {"h": h}, logits
+        dtype = get_default_dtype()
+        v_t = np.asarray(values_t, dtype=dtype)
+        n, channels = v_t.shape
+        m_t = (np.ones((n, channels), dtype=dtype) if mask_t is None
+               else np.asarray(mask_t).astype(dtype))
+        d_t = (np.zeros((n, channels), dtype=dtype) if deltas_t is None
+               else np.asarray(deltas_t, dtype=dtype))
+        cell = self.cell
+        h = ops.grud_scan_step(
+            v_t, m_t, d_t, state["h"], self.input_decay.data,
+            self.hidden_decay_w.data, self.hidden_decay_b.data,
+            cell.w_ih.data, cell.w_hh.data, cell.b_ih.data, cell.b_hh.data)
+        logits = np.matmul(h, self.weight.data)
+        logits += self.bias.data
+        return {"h": h}, logits.reshape(-1)

@@ -12,6 +12,7 @@ from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops
+from ..nn.dtype import get_default_dtype
 from ..nn.layers import GRU, Dense
 from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
@@ -43,7 +44,14 @@ class RETAIN(Module, InferenceMixin):
 
     def forward(self, values, return_attention=False):
         """Return logits and (optionally) the visit-level attention α."""
-        visits = self.embed(values)                      # (B, T, m)
+        return self._attend(self.embed(values), return_attention)
+
+    def _attend(self, visits, return_attention=False):
+        """The reverse-time attention readout over embedded visits.
+
+        Split from :meth:`forward` so the streaming path can feed cached
+        visit embeddings without re-embedding the whole prefix.
+        """
         reversed_visits = visits[:, ::-1, :]
         alpha_states = self.alpha_gru(reversed_visits)[:, ::-1, :]
         beta_states = self.beta_gru(reversed_visits)[:, ::-1, :]
@@ -54,3 +62,31 @@ class RETAIN(Module, InferenceMixin):
         if return_attention:
             return logits, alpha.reshape(alpha.shape[0], alpha.shape[1])
         return logits, None
+
+    # -- streaming inference (serve tier) ------------------------------
+    stream_incremental = True
+
+    def stream_begin(self, batch_size):
+        return {"visits": []}
+
+    def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
+        """Incremental streaming: embed only the new visit.
+
+        Each step projects the new timestep through the visit embedding
+        once (:func:`repro.nn.ops.linear_rows`, row-stable and therefore
+        bit-identical to the rows of the full-prefix embedding for
+        prefixes of two or more steps) and caches it; the reverse-time
+        attention readout then runs over the cached embeddings.  The two
+        GRUs scan the *reversed* prefix, so their O(t) rerun each step
+        is inherent to RETAIN — but the per-step feature projection is
+        never repeated.  The one-step prefix is served via the exact
+        full forward (its embedding GEMM runs in the GEMV regime).
+        """
+        v_t = np.asarray(values_t, dtype=get_default_dtype())
+        state["visits"].append(ops.linear_rows(v_t, self.embed.weight.data))
+        if len(state["visits"]) == 1:
+            logits, _ = self.forward(nn.Tensor(v_t[:, None, :]))
+            return state, logits
+        visits = nn.Tensor(np.stack(state["visits"], axis=1))
+        logits, _ = self._attend(visits)
+        return state, logits

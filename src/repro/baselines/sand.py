@@ -16,6 +16,7 @@ from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops
+from ..nn.dtype import get_default_dtype
 from ..nn.layers import Dense, LayerNorm, MultiHeadSelfAttention, positional_encoding
 from ..nn.inference import InferenceMixin
 from ..nn.module import Module, ModuleList, Parameter
@@ -76,6 +77,14 @@ class SAnD(Module, InferenceMixin):
         values = nn.Tensor(batch.values)
         steps = values.shape[1]
         x = self.embed(values) + positional_encoding(steps, self.model_size)
+        return self._finish(x, steps)
+
+    def _finish(self, x, steps):
+        """Encoder blocks + dense interpolation + head over embedded input.
+
+        Split from :meth:`forward_batch` so the streaming path can feed
+        its cache of already-embedded (and position-encoded) rows.
+        """
         for block in self.blocks:
             x = block(x)
         interp = self._interp_cache.get(steps)
@@ -88,3 +97,37 @@ class SAnD(Module, InferenceMixin):
         flat = pooled.reshape(pooled.shape[0],
                               self.interpolation * self.model_size)
         return (ops.matmul(flat, self.weight) + self.bias).reshape(-1)
+
+    # -- streaming inference (serve tier) ------------------------------
+    stream_incremental = True
+
+    def stream_begin(self, batch_size):
+        return {"rows": []}
+
+    def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
+        """Incremental streaming: embed + position-encode only the new row.
+
+        The input projection and sinusoidal position of each timestep
+        are computed once and cached (each positional row depends only
+        on its own index, so it never changes as the prefix grows).  The
+        causal attention blocks rerun over the cached rows: caching
+        per-position attention outputs is *not* bit-stable — extending
+        the key dimension of the QK^T and context GEMMs changes the BLAS
+        reduction order for the already-seen positions — so the blocks
+        are the O(t²) remainder.  The dense-interpolation weights also
+        depend on the total prefix length, forcing the pooled readout to
+        rerun regardless.  The one-step prefix is served via the exact
+        full forward (its embedding GEMM runs in the GEMV regime).
+        """
+        v_t = np.asarray(values_t, dtype=get_default_dtype())
+        row = ops.linear_rows(v_t, self.embed.weight.data,
+                              self.embed.bias.data)
+        steps = len(state["rows"]) + 1
+        row += positional_encoding(steps, self.model_size).data[steps - 1]
+        state["rows"].append(row)
+        if steps == 1:
+            values = nn.Tensor(v_t[:, None, :])
+            x = self.embed(values) + positional_encoding(1, self.model_size)
+            return state, self._finish(x, 1)
+        x = nn.Tensor(np.stack(state["rows"], axis=1))
+        return state, self._finish(x, steps)

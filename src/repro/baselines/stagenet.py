@@ -9,6 +9,12 @@ This follows the published architecture's three ingredients (stage-aware
 recurrence, convolutional progression extraction, re-calibration); the
 time-interval conditioning is simplified to hourly steps since the
 substrate emits regular sequences.
+
+By default the recurrence runs through the sequence-fused
+:func:`repro.nn.ops.stagenet_scan` kernel (gate and stage-gate input
+projections hoisted into pre-loop GEMMs, one hand-derived backward for
+the whole sequence); set ``fused_scan=False`` for the step-unrolled
+reference path.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from ..nn.backend import xp as np
 
 from .. import nn
 from ..nn import ops
+from ..nn.dtype import get_default_dtype
 from ..nn.layers import Conv1D, Dense, LSTMCell
 from ..nn.inference import InferenceMixin
 from ..nn.module import Module, Parameter
@@ -31,9 +38,10 @@ class StageNet(Module, InferenceMixin):
     """
 
     def __init__(self, num_features, rng, hidden_size=72, conv_channels=72,
-                 kernel_size=5):
+                 kernel_size=5, fused_scan=True):
         super().__init__()
         self.hidden_size = hidden_size
+        self.fused_scan = fused_scan
         self.cell = LSTMCell(num_features, hidden_size, rng)
         self.stage_gate = Dense(hidden_size + num_features, 1, rng,
                                 activation="sigmoid")
@@ -49,45 +57,60 @@ class StageNet(Module, InferenceMixin):
         batch_size, steps, _ = values.shape
         h = nn.Tensor(np.zeros((batch_size, self.hidden_size)))
         c = nn.Tensor(np.zeros((batch_size, self.hidden_size)))
-        states = []
-        for x_t in ops.unbind_time(values):
-            h, c = self.cell(x_t, (h, c))
-            # Stage progression gate: how much the disease stage advanced.
-            stage = self.stage_gate(ops.concat([h, x_t], axis=-1))  # (B,1)
-            c = stage * c                       # re-calibrate cell memory
-            states.append(h)
-        trajectory = ops.stack(states, axis=1)                      # (B,T,H)
-        patterns = self.conv(trajectory)                            # (B,T,K)
-        weights = ops.softmax(self.attn(patterns), axis=1)          # (B,T,1)
-        pooled = ops.sum(weights * patterns, axis=1)                # (B,K)
-        fused = ops.concat([pooled, h], axis=-1)
+        if self.fused_scan:
+            cell = self.cell
+            trajectory = ops.stagenet_scan(
+                values, h, c, cell.w_ih, cell.w_hh, cell.bias,
+                self.stage_gate.weight, self.stage_gate.bias)
+            h_last = trajectory[:, -1, :]
+        else:
+            states = []
+            for x_t in ops.unbind_time(values):
+                h, c = self.cell(x_t, (h, c))
+                # Stage progression gate: how much the stage advanced.
+                stage = self.stage_gate(ops.concat([h, x_t], axis=-1))
+                c = stage * c                   # re-calibrate cell memory
+                states.append(h)
+            trajectory = ops.stack(states, axis=1)              # (B,T,H)
+            h_last = h
+        return self._head(trajectory, h_last)
+
+    def _head(self, trajectory, h_last):
+        """Conv + attention pool over the hidden trajectory, then fuse
+        with the final state.  Shared between the full forward and the
+        streaming path so the two stay bit-identical on equal inputs.
+        """
+        patterns = self.conv(trajectory)                        # (B,T,K)
+        weights = ops.softmax(self.attn(patterns), axis=1)      # (B,T,1)
+        pooled = ops.sum(weights * patterns, axis=1)            # (B,K)
+        fused = ops.concat([pooled, h_last], axis=-1)
         return (ops.matmul(fused, self.weight) + self.bias).reshape(-1)
 
     # -- streaming inference (serve tier) ------------------------------
     stream_native = True
 
     def stream_begin(self, batch_size):
+        dtype = get_default_dtype()
         return {
-            "h": nn.Tensor(np.zeros((batch_size, self.hidden_size))),
-            "c": nn.Tensor(np.zeros((batch_size, self.hidden_size))),
+            "h": np.zeros((batch_size, self.hidden_size), dtype=dtype),
+            "c": np.zeros((batch_size, self.hidden_size), dtype=dtype),
             "states": [],
         }
 
     def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
-        """Stage-aware recurrence in O(1); head recomputed over the
-        stored trajectory (O(t) — inherent to the conv+attention pool,
-        which reweights *all* past patterns each step).  Ops and shapes
-        match :meth:`forward_batch` on the same prefix exactly.
+        """Stage-aware recurrence in O(1) via
+        :func:`repro.nn.ops.stagenet_scan_step` (bit-identical to one
+        fused-scan step); head recomputed over the stored trajectory
+        (O(t) — inherent to the conv+attention pool, which reweights
+        *all* past patterns each step).
         """
-        x_t = nn.Tensor(values_t)
-        h, c = self.cell(x_t, (state["h"], state["c"]))
-        stage = self.stage_gate(ops.concat([h, x_t], axis=-1))
-        c = stage * c
+        cell = self.cell
+        x_t = np.asarray(values_t, dtype=get_default_dtype())
+        h, c = ops.stagenet_scan_step(
+            x_t, state["h"], state["c"], cell.w_ih.data, cell.w_hh.data,
+            cell.bias.data, self.stage_gate.weight.data,
+            self.stage_gate.bias.data)
         states = state["states"] + [h]
-        trajectory = ops.stack(states, axis=1)
-        patterns = self.conv(trajectory)
-        weights = ops.softmax(self.attn(patterns), axis=1)
-        pooled = ops.sum(weights * patterns, axis=1)
-        fused = ops.concat([pooled, h], axis=-1)
-        logits = (ops.matmul(fused, self.weight) + self.bias).reshape(-1)
+        trajectory = nn.Tensor(np.stack(states, axis=1))
+        logits = self._head(trajectory, nn.Tensor(h))
         return {"h": h, "c": c, "states": states}, logits

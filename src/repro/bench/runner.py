@@ -261,15 +261,20 @@ def benchmark_streaming(model_name="GRU", num_admissions=64, seed=0,
     batch serving path costs, O(t) recurrence per observation); the
     *streaming* lane feeds the same observations through one
     :class:`~repro.serve.StreamingSession` (O(1) state update for
-    natively streaming models).  Both lanes score the identical
-    ``num_steps`` observations of one admission, ``repeats`` times;
-    the reported per-step latency is the overall mean, and the lanes'
-    probabilities are verified bit-identical at every prefix first.
+    natively streaming models, cached attention state for incremental
+    ones).  Both lanes score the identical ``num_steps`` observations of
+    one admission, ``repeats`` times; the reported per-step latency is
+    the overall mean, and the lanes' probabilities are verified
+    bit-identical at every prefix first.
+
+    Models that reject short prefixes (attention over ``t - 1`` earlier
+    steps needs at least two) are timed from their first served prefix;
+    the rejected prefixes are skipped in both lanes identically.
 
     Returns ``{"config": ..., "recompute_seconds_per_step": ...,
-    "streaming_seconds_per_step": ..., "speedup": ..., "native": ...}``;
-    the ``repro bench --streaming`` CLI lane persists it as
-    ``BENCH_*.json``.
+    "streaming_seconds_per_step": ..., "speedup": ..., "native": ...,
+    "incremental": ...}``; the ``repro bench --streaming`` CLI lane
+    persists it as ``BENCH_*.json``.
     """
     from ..metrics.probability import sigmoid_probs, softmax_probs
     from ..nn.dtype import autocast, get_default_dtype, resolve_dtype
@@ -290,11 +295,29 @@ def benchmark_streaming(model_name="GRU", num_admissions=64, seed=0,
             return (sigmoid_probs(logits) if logits.ndim == 1
                     else softmax_probs(logits))
 
+        def step_session(session, t):
+            return session.step(row.values[:, t - 1], row.mask[:, t - 1],
+                                row.deltas[:, t - 1])
+
+        rejected = set()
         session = predictor.start_stream()
         for t in range(1, num_steps + 1):
-            streamed = session.step(row.values[:, t - 1], row.mask[:, t - 1],
-                                    row.deltas[:, t - 1])
-            if not np.array_equal(streamed, prefix_probs(t)):
+            try:
+                expected = prefix_probs(t)
+            except Exception:
+                # Both lanes must reject the short prefix identically
+                # (e.g. attention over t-1 earlier steps needs two); the
+                # session keeps the buffered observation either way.
+                try:
+                    step_session(session, t)
+                except Exception:
+                    rejected.add(t)
+                    continue
+                raise AssertionError(
+                    f"streamed {model_name} served prefix {t} that the "
+                    "full forward rejects")
+            streamed = step_session(session, t)
+            if not np.array_equal(streamed, expected):
                 raise AssertionError(
                     f"streamed {model_name} probabilities diverge from the "
                     f"full forward at prefix {t}")
@@ -304,17 +327,21 @@ def benchmark_streaming(model_name="GRU", num_admissions=64, seed=0,
         for _ in range(repeats):
             started = perf_counter()
             for t in range(1, num_steps + 1):
-                prefix_probs(t)
+                if t not in rejected:
+                    prefix_probs(t)
             recompute_seconds += perf_counter() - started
 
             session = predictor.start_stream()
             started = perf_counter()
             for t in range(1, num_steps + 1):
-                session.step(row.values[:, t - 1], row.mask[:, t - 1],
-                             row.deltas[:, t - 1])
+                try:
+                    step_session(session, t)
+                except Exception:
+                    if t not in rejected:
+                        raise
             streaming_seconds += perf_counter() - started
 
-    total_steps = repeats * num_steps
+    total_steps = repeats * (num_steps - len(rejected))
     recompute = recompute_seconds / total_steps
     streaming = streaming_seconds / total_steps
     return {
@@ -323,11 +350,13 @@ def benchmark_streaming(model_name="GRU", num_admissions=64, seed=0,
             "num_admissions": num_admissions,
             "seed": seed,
             "num_steps": num_steps,
+            "served_steps": num_steps - len(rejected),
             "repeats": repeats,
             "dtype": np.dtype(resolved).name,
             "num_parameters": model.num_parameters(),
         },
         "native": bool(getattr(model, "stream_native", False)),
+        "incremental": bool(getattr(model, "stream_incremental", False)),
         "recompute_seconds_per_step": recompute,
         "streaming_seconds_per_step": streaming,
         "speedup": (recompute / streaming if streaming > 0

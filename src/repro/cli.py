@@ -540,7 +540,12 @@ def _cmd_bench_streaming(args, out):
         model_name=args.model, num_admissions=args.admissions,
         seed=args.seed, repeats=args.repeats, dtype=args.dtype)
     config = result["config"]
-    mode = "native O(1) state" if result["native"] else "exact prefix replay"
+    if result["native"]:
+        mode = "native O(1) state"
+    elif result["incremental"]:
+        mode = "incremental attention state"
+    else:
+        mode = "exact prefix replay"
     out.write(f"{args.model} streaming inference ({config['dtype']}, "
               f"{config['num_steps']} steps, {mode})\n")
     out.write(f"  recompute/step: "
@@ -553,6 +558,7 @@ def _cmd_bench_streaming(args, out):
         payload = dict(config)
         payload.update(
             native=result["native"],
+            incremental=result["incremental"],
             recompute_seconds_per_step=result["recompute_seconds_per_step"],
             streaming_seconds_per_step=result["streaming_seconds_per_step"],
             speedup=result["speedup"],

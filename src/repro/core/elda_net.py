@@ -24,8 +24,10 @@ Use :func:`build_variant` to construct any of them by paper name.
 
 from __future__ import annotations
 
+from ..nn.backend import xp as np
 
 from .. import nn
+from ..nn.dtype import get_default_dtype
 from ..nn.layers import GRU
 from ..nn.inference import InferenceMixin
 from ..nn.module import Module
@@ -170,6 +172,85 @@ class ELDANet(Module, InferenceMixin):
     def forward_batch(self, batch):
         """Uniform trainer interface: logits from an :class:`EMRDataset` batch."""
         return self.logits(batch.values, ever_observed=batch.ever_observed)
+
+    # -- streaming inference (serve tier) ------------------------------
+    stream_incremental = True
+
+    def _stream_gru(self):
+        """The recurrent encoder the streaming state advances through."""
+        return self.time_module.gru if self.use_time_module else self.encoder
+
+    def _project_step(self, v_t, ever):
+        """Embed + feature-interact one ``(batch, features)`` slice.
+
+        Returns the enriched ``(batch, features * compression)`` row as
+        a plain array.  Every op in the feature path — the value
+        embedding, the missing-value routing, and the feature-attention
+        matmuls — is either elementwise in time or a stacked matmul
+        whose GEMM cores are independent of the time extent, so the row
+        computed from a one-step slice is bit-identical to the matching
+        row of the full-prefix feature pipeline.
+        """
+        values = nn.Tensor(v_t[:, None, :])
+        embedded = self.embedding(values, ever_observed=ever)
+        sequence = self.feature_module(embedded)
+        return sequence.data[:, 0]
+
+    def stream_begin(self, batch_size):
+        return {
+            "values": [],
+            "ever": None,
+            "h": self._stream_gru().initial_state(batch_size),
+            "states": [],
+        }
+
+    def stream_step(self, state, values_t, mask_t=None, deltas_t=None):
+        """Incremental streaming across every ELDA-Net variant.
+
+        Each step projects only the *new* timestep through the feature
+        pipeline (:meth:`_project_step`) and advances the GRU in O(1)
+        via its ``stream_step`` hook; the time-interaction readout
+        (variants with the time module) then runs over the cached hidden
+        states.  The one caveat is the never-observed routing: the
+        feature embedding of *every* timestep depends on which features
+        have been observed *anywhere* in the prefix, so when a feature's
+        first observation arrives the cached projections are stale and
+        the state rebuilds from the buffered raw rows — rare after the
+        first few steps of an admission, and absent entirely for the
+        time-only variant (whose input is the raw values).
+        """
+        v_t = np.asarray(values_t, dtype=get_default_dtype())
+        batch = v_t.shape[0]
+        gru = self._stream_gru()
+        state["values"].append(v_t)
+        if self.use_feature_module:
+            m_t = (np.ones(v_t.shape, dtype=bool) if mask_t is None
+                   else np.asarray(mask_t, dtype=bool))
+            ever = state["ever"]
+            new_ever = m_t.copy() if ever is None else (ever | m_t)
+            if ever is None or not np.array_equal(new_ever, ever):
+                # A feature crossed from never- to ever-observed: every
+                # cached projection used the stale missing-value routing.
+                # Re-project and re-encode the buffered prefix.
+                state["ever"] = new_ever
+                state["h"] = gru.initial_state(batch)
+                state["states"] = []
+                rows = [self._project_step(v, new_ever)
+                        for v in state["values"]]
+            else:
+                rows = [self._project_step(v_t, ever)]
+        else:
+            rows = [v_t]
+        for row in rows:
+            state["h"] = gru.stream_step(row, state["h"])
+            if self.use_time_module:
+                state["states"].append(state["h"])
+        if self.use_time_module:
+            states = nn.Tensor(np.stack(state["states"], axis=1))
+            representation = self.time_module.tail(states)
+        else:
+            representation = nn.Tensor(state["h"])
+        return state, self.prediction.logits(representation)
 
 
 def build_variant(name, num_features, rng, **overrides):

@@ -61,7 +61,18 @@ class TimeInteractionModule(Module):
         -------
         Tensor (batch, 2 * hidden_size) — ``[h_T; g_T]`` — and optionally β.
         """
-        states = self.gru(sequence)                    # (B, T, l)
+        return self.tail(self.gru(sequence), return_attention)
+
+    def tail(self, states, return_attention=False):
+        """The interaction-attention readout over encoded states.
+
+        Split from :meth:`forward` so the streaming path can feed hidden
+        states accumulated step by step through the GRU's
+        ``stream_step`` hook instead of re-encoding the whole prefix.
+        Raises on single-step prefixes (no earlier states to interact
+        with) — the streaming session keeps the buffered observation and
+        serves it once a second step arrives.
+        """
         last = states[:, -1, :]                        # h_T
         earlier = states[:, :-1, :]                    # h_1..h_{T-1}
         interactions = earlier * last.reshape(-1, 1, self.hidden_size)

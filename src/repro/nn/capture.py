@@ -130,6 +130,14 @@ def _classify(obj, serial_of, param_index):
             return ("param", idx)
         return ("const", arr)
     if isinstance(obj, np.ndarray):
+        # Raw arrays can alias a recorded buffer too: the scan composites
+        # take constant (non-differentiated) planes like grud_scan's
+        # observation mask directly as arrays, and those must bind as
+        # dynamic slots — not baked constants — for the replay fallback
+        # to see refreshed batch data.
+        serial = serial_of.get(id(obj))
+        if serial is not None:
+            return ("slot", serial)
         return ("const", obj)
     if isinstance(obj, (list, tuple)):
         return ("seq", tuple(_classify(o, serial_of, param_index)

@@ -47,15 +47,40 @@ class InferenceMixin:
       logits *as of that prefix*, bit-identical to ``predict_logits``
       over the same prefix (see docs/SERVING.md for the contract).
 
-    :class:`repro.serve.StreamingSession` drives these hooks under
-    ``eval()`` + ``no_grad``; models without them (attention over the
-    future, reverse-time encoders) are streamed by exact prefix replay
-    instead, so every model supports the streaming surface.
+    Models whose forward is *not* a pure per-step recurrence but still
+    maintains reusable per-prefix state (cached projections, running
+    hidden states feeding a non-causal readout) set
+    ``stream_incremental = True`` instead and implement the same two
+    hooks.  The bit-identity contract is identical; the difference is
+    cost semantics — an incremental ``stream_step`` may do O(t) readout
+    work over its cached state, but never recomputes the per-step
+    projections or recurrences of earlier steps.  Two extra rules apply
+    to incremental hooks:
+
+    * record the new observation into ``state`` (in place) *before* any
+      computation that can raise — a model that rejects short prefixes
+      (e.g. attention over ``t-1`` earlier steps needs two) must keep
+      the observation so the same session can serve it once enough
+      steps arrived;
+    * a readout that cannot be produced from cached per-step pieces
+      bit-identically (the ``t == 1`` GEMV-regime projections — see
+      :func:`repro.nn.ops.linear_rows`) is served via the exact full
+      forward for that prefix while the cache is still updated.
+
+    :class:`repro.serve.StreamingSession` drives both kinds of hooks
+    under ``eval()`` + ``no_grad``; models with neither flag are
+    streamed by exact prefix replay instead, so every model supports
+    the streaming surface.
     """
 
     #: True on models implementing stream_begin/stream_step natively;
     #: the serving session replays prefixes for everything else.
     stream_native = False
+
+    #: True on models whose stream_step reuses cached per-prefix state
+    #: (incremental attention streaming) without being a pure O(1)
+    #: recurrence.  Mutually exclusive with stream_native.
+    stream_incremental = False
 
     def stream_begin(self, batch_size):
         raise NotImplementedError(

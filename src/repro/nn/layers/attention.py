@@ -24,6 +24,26 @@ __all__ = ["LocationAttention", "GeneralAttention", "AdditiveAttention",
            "MultiHeadSelfAttention", "attention_pool"]
 
 
+def _causal_mask(steps):
+    """The additive causal mask for ``steps`` positions, cached.
+
+    The mask is a pure function of the step count; caching it matters
+    for the incremental streaming paths (SAnD reruns its attention
+    blocks over the cached prefix every step, so without the cache each
+    served observation would rebuild one mask per block).  The cached
+    array is shared — callers must treat it as read-only, which the
+    additive ``scores + mask`` below does.
+    """
+    mask = _CAUSAL_MASKS.get(steps)
+    if mask is None:
+        mask = np.triu(np.full((steps, steps), -1e9), k=1)
+        _CAUSAL_MASKS[steps] = mask
+    return mask
+
+
+_CAUSAL_MASKS = {}
+
+
 def attention_pool(scores, values, axis=1):
     """Softmax ``scores`` along ``axis`` and return the weighted sum of values.
 
@@ -107,8 +127,7 @@ class MultiHeadSelfAttention(Module):
         v = self._split_heads(self.value(x), batch, steps)
         scores = ops.matmul(q, k.swapaxes(-1, -2)) / np.sqrt(self.head_size)
         if self.causal:
-            mask = np.triu(np.full((steps, steps), -1e9), k=1)
-            scores = scores + mask
+            scores = scores + _causal_mask(steps)
         weights = ops.softmax(scores, axis=-1)               # (B, H, T, T)
         context = ops.matmul(weights, v)                     # (B, H, T, d)
         context = context.swapaxes(1, 2).reshape(batch, steps, self.model_size)

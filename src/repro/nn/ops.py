@@ -59,11 +59,13 @@ __all__ = [
     "split", "unbind_time", "softmax", "log_softmax",
     "softmax_cross_entropy", "where", "dropout_mask", "pad_last",
     "outer_last", "embedding_lookup", "gru_step", "gru_scan", "lstm_scan",
+    "grud_scan", "stagenet_scan",
 ]
-# gru_scan_step / lstm_scan_step are deliberately NOT in __all__: they
-# are inference-only array kernels (no Tensor, no graph, no backward)
-# behind the streaming stream_step hooks, and __all__ doubles as the
-# differentiable-op registry contract (tests/nn/test_gradcheck_registry).
+# gru_scan_step / lstm_scan_step / grud_scan_step / stagenet_scan_step /
+# linear_rows are deliberately NOT in __all__: they are inference-only
+# array kernels (no Tensor, no graph, no backward) behind the streaming
+# stream_step hooks, and __all__ doubles as the differentiable-op
+# registry contract (tests/nn/test_gradcheck_registry).
 
 
 # ----------------------------------------------------------------------
@@ -1640,6 +1642,542 @@ def lstm_scan(x, h0, c0, w_ih, w_hh, bias, lengths=None,
     return Tensor._make(out_data, (x, h0, c0, w_ih, w_hh, bias), backward)
 
 
+def _grud_scan_sample(rng):
+    batch, steps, channels, hidden = 2, 3, 3, 2
+    mask = (rng.random(size=(batch, steps, channels)) < 0.6).astype(
+        np.float64)
+
+    def arrays():
+        return (rng.normal(size=(batch, steps, channels)),
+                np.abs(rng.normal(size=(batch, steps, channels))) + 0.5,
+                rng.normal(size=(batch, hidden)),
+                _away_from_zero(rng, (channels,)),
+                rng.normal(size=(channels, hidden)) * 0.5,
+                rng.normal(size=hidden) * 0.1,
+                rng.normal(size=(2 * channels, 3 * hidden)) * 0.5,
+                rng.normal(size=(hidden, 3 * hidden)) * 0.5,
+                rng.normal(size=3 * hidden) * 0.1,
+                rng.normal(size=3 * hidden) * 0.1)
+
+    ragged = np.array([1, 3])
+    return [
+        OpSample(lambda v, d, h, wd, whd, bhd, wi, wh, bi, bh: _sqsum(
+            grud_scan(v, mask, d, h, wd, whd, bhd, wi, wh, bi, bh)),
+            *arrays()),
+        OpSample(lambda v, d, h, wd, whd, bhd, wi, wh, bi, bh: _sqsum(
+            grud_scan(v, mask, d, h, wd, whd, bhd, wi, wh, bi, bh,
+                      lengths=ragged, return_sequences=True)),
+            *arrays()),
+    ]
+
+
+@differentiable(_grud_scan_sample)
+def grud_scan(values, mask, deltas, h0, input_decay, hidden_decay_w,
+              hidden_decay_b, w_ih, w_hh, b_ih, b_hh, lengths=None,
+              return_sequences=False):
+    """Fused GRU-D over a whole sequence; see :func:`gru_scan`.
+
+    The decay-augmented recurrence of :class:`repro.baselines.GRUD`
+    (Che et al. 2018) as one graph node: every input-side projection —
+    the elementwise input decay ``γ_x = exp(-relu(δ ⊙ w))``, the imputed
+    ``x̂ = (m + (1-m) γ_x) ⊙ v``, the hidden-decay GEMM
+    ``γ_h = exp(-relu(δ W_h + b_h))`` and the gate projection
+    ``[x̂ ; m] @ W_ih`` — is hoisted out of the time loop into batched
+    ``(T*B, ·)`` computations, leaving only the per-step recurrent GEMM
+    on the decayed state ``γ_h(t) ⊙ h_{t-1}`` plus the out=-buffered
+    gate tail inside the loop.  One hand-derived backward walks the
+    sequence once in reverse filling per-step gate/decay delta stacks,
+    then collapses every weight gradient into a single GEMM.
+
+    ``mask`` is the 0/1 observation indicator and is a **constant**
+    (non-differentiated) input, exactly as in the reference model where
+    it enters as data.  ``lengths`` freezes finished rows as in
+    :func:`gru_scan`.  Returns the final hidden state ``(batch, hidden)``
+    by default (the model's head consumes only ``h_T``), or the full
+    ``(batch, steps, hidden)`` trajectory with ``return_sequences``.
+    """
+    values, deltas, h0 = as_tensor(values), as_tensor(deltas), as_tensor(h0)
+    input_decay = as_tensor(input_decay)
+    hidden_decay_w = as_tensor(hidden_decay_w)
+    hidden_decay_b = as_tensor(hidden_decay_b)
+    w_ih, w_hh = as_tensor(w_ih), as_tensor(w_hh)
+    b_ih, b_hh = as_tensor(b_ih), as_tensor(b_hh)
+    if values.data.ndim != 3:
+        raise ValueError(f"grud_scan expects (batch, steps, features) "
+                         f"values, got shape {values.shape}")
+    batch, steps, channels = values.shape
+    hidden = h0.shape[-1]
+    h2 = 2 * hidden
+    mask_data = np.asarray(getattr(mask, "data", mask))
+    if mask_data.shape != (batch, steps, channels) \
+            or deltas.shape != (batch, steps, channels):
+        raise ValueError(
+            f"grud_scan mask/deltas shapes {mask_data.shape}/{deltas.shape} "
+            f"do not match values {values.shape}")
+    if h0.shape != (batch, hidden) \
+            or input_decay.shape != (channels,) \
+            or hidden_decay_w.shape != (channels, hidden) \
+            or w_ih.shape != (2 * channels, 3 * hidden) \
+            or w_hh.shape != (hidden, 3 * hidden):
+        raise ValueError(
+            f"grud_scan shapes do not line up: values {values.shape}, "
+            f"h0 {h0.shape}, input_decay {input_decay.shape}, "
+            f"hidden_decay_w {hidden_decay_w.shape}, w_ih {w_ih.shape}, "
+            f"w_hh {w_hh.shape}")
+    lengths = _check_scan_lengths(lengths, batch, steps)
+    t_run = steps if lengths is None else (int(lengths.max())
+                                           if lengths.size else 0)
+    min_len = 0 if lengths is None else int(lengths.min())
+    dt = np.result_type(values.data, w_ih.data)
+
+    # Hoisted input plane, all time-major: input decay, imputation, the
+    # hidden-decay GEMM, and the gate projection of every timestep.
+    v_tm = np.ascontiguousarray(values.data[:, :t_run].swapaxes(0, 1))
+    d_tm = np.ascontiguousarray(deltas.data[:, :t_run].swapaxes(0, 1))
+    m_tm = mask_data[:, :t_run].swapaxes(0, 1).astype(dt)
+    gamma_x = d_tm * input_decay.data            # pre-activation ...
+    np.maximum(gamma_x, 0.0, out=gamma_x)        # ... -> relu ...
+    np.negative(gamma_x, out=gamma_x)
+    np.exp(gamma_x, out=gamma_x)                 # ... -> decay (T, B, C)
+    xm = np.empty((t_run, batch, 2 * channels), dtype=dt)
+    x_hat = xm[..., :channels]
+    np.subtract(1.0, m_tm, out=x_hat)            # (m + (1-m) γ_x) ⊙ v
+    x_hat *= gamma_x
+    x_hat += m_tm
+    x_hat *= v_tm
+    xm[..., channels:] = m_tm
+    d_2d = d_tm.reshape(t_run * batch, channels)
+    ph = _rowstable_matmul(d_2d, hidden_decay_w.data)
+    ph += hidden_decay_b.data                    # pre-relu, kept for bwd
+    gamma_h = np.maximum(ph, 0.0)
+    np.negative(gamma_h, out=gamma_h)
+    np.exp(gamma_h, out=gamma_h)
+    gamma_h = gamma_h.reshape(t_run, batch, hidden)
+    xm_2d = xm.reshape(t_run * batch, 2 * channels)
+    gx = _rowstable_matmul(xm_2d, w_ih.data)
+    gx += b_ih.data
+    gx = gx.reshape(t_run, batch, 3 * hidden)
+
+    needs_grad = is_grad_enabled() and any(
+        p.requires_grad for p in (values, deltas, h0, input_decay,
+                                  hidden_decay_w, hidden_decay_b,
+                                  w_ih, w_hh, b_ih, b_hh))
+    h_stack = np.empty((t_run + 1, batch, hidden), dtype=dt)
+    h_stack[0] = h0.data
+    if needs_grad:
+        gact = np.empty((t_run, batch, 3 * hidden), dtype=dt)
+        nhs = np.empty((t_run, batch, hidden), dtype=dt)
+    else:
+        scratch = np.empty((batch, 3 * hidden), dtype=dt)
+
+    w_hh_d, b_hh_d = w_hh.data, b_hh.data
+    gh = np.empty((batch, 3 * hidden), dtype=dt)
+    tmp = np.empty((batch, hidden), dtype=dt)
+    heff = np.empty((batch, hidden), dtype=dt)
+    for t in range(t_run):
+        h_prev = h_stack[t]
+        h_new = h_stack[t + 1]
+        g_act = gact[t] if needs_grad else scratch
+        np.multiply(gamma_h[t], h_prev, out=heff)
+        np.matmul(heff, w_hh_d, out=gh)
+        gh += b_hh_d
+        gt = gx[t]
+        gt[:, :h2] += gh[:, :h2]
+        _sigmoid_into(gt[:, :h2], out=g_act[:, :h2])
+        z = g_act[:, :hidden]
+        r = g_act[:, hidden:h2]
+        nh = gh[:, h2:]
+        if needs_grad:
+            nhs[t] = nh
+        n_pre = gt[:, h2:]
+        np.multiply(r, nh, out=tmp)
+        n_pre += tmp
+        n = np.tanh(n_pre, out=g_act[:, h2:])
+        np.subtract(heff, n, out=h_new)          # z*γ_h h + (1-z)*n
+        h_new *= z
+        h_new += n
+        if lengths is not None and t >= min_len:
+            frozen = lengths <= t
+            h_new[frozen] = h_prev[frozen]
+
+    if return_sequences:
+        out_data = np.empty((batch, steps, hidden), dtype=dt)
+        if t_run:
+            out_data[:, :t_run] = h_stack[1:].swapaxes(0, 1)
+        if t_run < steps:
+            out_data[:, t_run:] = h_stack[t_run][:, None, :]
+    else:
+        out_data = h_stack[t_run].copy()
+
+    def backward(grad):
+        if return_sequences:
+            dh = grad[:, t_run:].sum(axis=1)
+        else:
+            dh = grad.copy()
+        dgx = np.empty((t_run, batch, 3 * hidden), dtype=dt)
+        dgh = np.empty_like(dgx)
+        dgamma_h = np.empty((t_run, batch, hidden), dtype=dt)
+        om = np.empty((batch, hidden), dtype=dt)
+        scr = np.empty_like(om)
+        heff_t = np.empty_like(om)
+        for t in range(t_run - 1, -1, -1):
+            if return_sequences:
+                dh += grad[:, t]
+            g_act = gact[t]
+            z = g_act[:, :hidden]
+            r = g_act[:, hidden:h2]
+            n = g_act[:, h2:]
+            nh = nhs[t]
+            h_prev = h_stack[t]
+            np.multiply(gamma_h[t], h_prev, out=heff_t)
+            dgx_t, dgh_t = dgx[t], dgh[t]
+            d_z = dgx_t[:, :hidden]
+            d_r = dgx_t[:, hidden:h2]
+            d_n = dgx_t[:, h2:]
+            np.subtract(1.0, z, out=om)              # 1 - z
+            np.multiply(n, n, out=d_n)               # d_n_pre
+            np.subtract(1.0, d_n, out=d_n)
+            d_n *= dh
+            d_n *= om
+            np.subtract(heff_t, n, out=d_z)          # d_z_pre
+            d_z *= dh
+            d_z *= z
+            d_z *= om
+            np.subtract(1.0, r, out=om)              # buffer becomes 1-r
+            np.multiply(d_n, nh, out=d_r)            # d_r_pre
+            d_r *= r
+            d_r *= om
+            dgh_t[:, :h2] = dgx_t[:, :h2]
+            np.multiply(d_n, r, out=dgh_t[:, h2:])
+            frozen = None
+            if lengths is not None and t >= min_len:
+                frozen = lengths <= t
+                dgx_t[frozen] = 0.0
+                dgh_t[frozen] = 0.0
+            carry = dgh_t @ w_hh_d.T                 # d(γ_h ⊙ h_prev)
+            np.multiply(dh, z, out=scr)
+            carry += scr
+            if frozen is not None:
+                carry[frozen] = 0.0
+            np.multiply(carry, h_prev, out=dgamma_h[t])
+            carry *= gamma_h[t]
+            if frozen is not None:
+                carry[frozen] = dh[frozen]
+            dh = carry
+        dgx_2d = dgx.reshape(-1, 3 * hidden)
+        dgh_2d = dgh.reshape(-1, 3 * hidden)
+        x_side = (values.requires_grad or deltas.requires_grad
+                  or input_decay.requires_grad)
+        if x_side:
+            dxhat = (dgx_2d @ w_ih.data.T)[:, :channels].reshape(
+                t_run, batch, channels)
+        grad_v = None
+        if values.requires_grad:
+            coef = np.subtract(1.0, m_tm)            # m + (1-m) γ_x
+            coef *= gamma_x
+            coef += m_tm
+            coef *= dxhat                            # becomes dv (T,B,C)
+            grad_v = coef
+        grad_d = None
+        if deltas.requires_grad or input_decay.requires_grad:
+            dpx = np.subtract(1.0, m_tm)             # d γ_x
+            dpx *= v_tm
+            dpx *= dxhat
+            dpx *= gamma_x                           # chain exp(-relu(·))
+            np.negative(dpx, out=dpx)
+            dpx *= (d_tm * input_decay.data) > 0
+            if input_decay.requires_grad:
+                input_decay._accumulate(
+                    (d_tm * dpx).sum(axis=(0, 1)), owned=True)
+            if deltas.requires_grad:
+                grad_d = dpx * input_decay.data
+        if deltas.requires_grad or hidden_decay_w.requires_grad \
+                or hidden_decay_b.requires_grad:
+            dph = dgamma_h.reshape(t_run * batch, hidden)
+            dph *= gamma_h.reshape(t_run * batch, hidden)
+            np.negative(dph, out=dph)
+            dph *= ph > 0
+            if hidden_decay_w.requires_grad:
+                hidden_decay_w._accumulate(d_2d.T @ dph, owned=True)
+            if hidden_decay_b.requires_grad:
+                hidden_decay_b._accumulate(dph.sum(axis=0), owned=True)
+            if deltas.requires_grad:
+                dd_h = (dph @ hidden_decay_w.data.T).reshape(
+                    t_run, batch, channels)
+                if grad_d is None:
+                    grad_d = dd_h
+                else:
+                    grad_d += dd_h
+
+        def scatter_bt(g_tm):
+            if t_run == steps:
+                return np.ascontiguousarray(g_tm.swapaxes(0, 1))
+            full = np.zeros((batch, steps, channels), dtype=dt)
+            full[:, :t_run] = g_tm.swapaxes(0, 1)
+            return full
+
+        if values.requires_grad:
+            values._accumulate(scatter_bt(grad_v), owned=True)
+        if deltas.requires_grad:
+            deltas._accumulate(scatter_bt(grad_d), owned=True)
+        if h0.requires_grad:
+            h0._accumulate(dh, owned=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(xm_2d.T @ dgx_2d, owned=True)
+        if w_hh.requires_grad:
+            heff_2d = (gamma_h * h_stack[:t_run]).reshape(-1, hidden)
+            w_hh._accumulate(heff_2d.T @ dgh_2d, owned=True)
+        if b_ih.requires_grad:
+            b_ih._accumulate(dgx_2d.sum(axis=0), owned=True)
+        if b_hh.requires_grad:
+            b_hh._accumulate(dgh_2d.sum(axis=0), owned=True)
+
+    return Tensor._make(
+        out_data,
+        (values, deltas, h0, input_decay, hidden_decay_w, hidden_decay_b,
+         w_ih, w_hh, b_ih, b_hh), backward)
+
+
+def _stagenet_scan_sample(rng):
+    batch, steps, channels, hidden = 2, 3, 3, 2
+
+    def arrays():
+        return (rng.normal(size=(batch, steps, channels)),
+                rng.normal(size=(batch, hidden)),
+                rng.normal(size=(batch, hidden)),
+                rng.normal(size=(channels, 4 * hidden)) * 0.5,
+                rng.normal(size=(hidden, 4 * hidden)) * 0.5,
+                rng.normal(size=4 * hidden) * 0.1,
+                rng.normal(size=(hidden + channels, 1)) * 0.5,
+                rng.normal(size=1) * 0.1)
+
+    ragged = np.array([2, 3])
+    return [
+        OpSample(lambda x, h, c, wi, wh, b, sw, sb: _sqsum(
+            stagenet_scan(x, h, c, wi, wh, b, sw, sb)), *arrays()),
+        OpSample(lambda x, h, c, wi, wh, b, sw, sb: _sqsum(
+            stagenet_scan(x, h, c, wi, wh, b, sw, sb, lengths=ragged,
+                          return_sequences=False)), *arrays()),
+    ]
+
+
+@differentiable(_stagenet_scan_sample)
+def stagenet_scan(x, h0, c0, w_ih, w_hh, bias, stage_weight, stage_bias,
+                  lengths=None, return_sequences=True):
+    """Fused stage-aware LSTM over a whole sequence; see :func:`lstm_scan`.
+
+    The :class:`repro.baselines.StageNet` recurrence (Gao et al. 2020)
+    as one graph node: an LSTM step followed by a scalar stage-
+    progression gate ``s_t = σ(h_t W_sh + x_t W_sx + b_s)`` that
+    re-calibrates the cell state, ``c_t = s_t ⊙ (f c_{t-1} + i g)``.
+    ``stage_weight`` is the stacked ``(hidden + features, 1)`` kernel of
+    the model's stage Dense layer (hidden rows first); its input-side
+    slice joins the gate projection in the hoisted pre-loop GEMMs, so
+    the loop touches only the recurrent GEMM, the ``(B, 1)`` stage
+    product, and the out=-buffered elementwise tail.  Returns the hidden
+    trajectory ``(batch, steps, hidden)`` (the conv/attention head reads
+    all of it) or the final hidden state with ``return_sequences=False``.
+    """
+    x, h0, c0 = as_tensor(x), as_tensor(h0), as_tensor(c0)
+    w_ih, w_hh, bias = as_tensor(w_ih), as_tensor(w_hh), as_tensor(bias)
+    stage_weight = as_tensor(stage_weight)
+    stage_bias = as_tensor(stage_bias)
+    if x.data.ndim != 3:
+        raise ValueError(f"stagenet_scan expects (batch, steps, features) "
+                         f"input, got shape {x.shape}")
+    batch, steps, num_in = x.shape
+    hidden = h0.shape[-1]
+    h2, h3 = 2 * hidden, 3 * hidden
+    if h0.shape != (batch, hidden) or c0.shape != (batch, hidden) \
+            or w_ih.shape != (num_in, 4 * hidden) \
+            or w_hh.shape != (hidden, 4 * hidden) \
+            or stage_weight.shape != (hidden + num_in, 1):
+        raise ValueError(
+            f"stagenet_scan shapes do not line up: x {x.shape}, "
+            f"h0 {h0.shape}, c0 {c0.shape}, w_ih {w_ih.shape}, "
+            f"w_hh {w_hh.shape}, stage_weight {stage_weight.shape}")
+    lengths = _check_scan_lengths(lengths, batch, steps)
+    t_run = steps if lengths is None else (int(lengths.max())
+                                           if lengths.size else 0)
+    min_len = 0 if lengths is None else int(lengths.min())
+
+    w_sh = stage_weight.data[:hidden]
+    w_sx = stage_weight.data[hidden:]
+    x_2d = np.ascontiguousarray(
+        x.data[:, :t_run].swapaxes(0, 1)).reshape(t_run * batch, num_in)
+    gx = _rowstable_matmul(x_2d, w_ih.data)
+    gx += bias.data
+    gx = gx.reshape(t_run, batch, 4 * hidden)
+    sx = _rowstable_matmul(x_2d, w_sx)
+    sx += stage_bias.data
+    sx = sx.reshape(t_run, batch, 1)
+    dt = gx.dtype
+
+    needs_grad = is_grad_enabled() and any(
+        p.requires_grad for p in (x, h0, c0, w_ih, w_hh, bias,
+                                  stage_weight, stage_bias))
+    h_stack = np.empty((t_run + 1, batch, hidden), dtype=dt)
+    c_stack = np.empty_like(h_stack)
+    h_stack[0] = h0.data
+    c_stack[0] = c0.data
+    if needs_grad:
+        gact = np.empty((t_run, batch, 4 * hidden), dtype=dt)
+        tcs = np.empty((t_run, batch, hidden), dtype=dt)
+        cmid = np.empty((t_run, batch, hidden), dtype=dt)
+        s_stack = np.empty((t_run, batch, 1), dtype=dt)
+    else:
+        scratch = np.empty((batch, 4 * hidden), dtype=dt)
+        scratch_tc = np.empty((batch, hidden), dtype=dt)
+        scratch_cm = np.empty((batch, hidden), dtype=dt)
+        scratch_s = np.empty((batch, 1), dtype=dt)
+
+    w_hh_d = w_hh.data
+    gh = np.empty((batch, 4 * hidden), dtype=dt)
+    tmp = np.empty((batch, hidden), dtype=dt)
+    pbuf = np.empty((batch, 1), dtype=dt)
+    for t in range(t_run):
+        h_prev, c_prev = h_stack[t], c_stack[t]
+        h_new, c_new = h_stack[t + 1], c_stack[t + 1]
+        g_act = gact[t] if needs_grad else scratch
+        np.matmul(h_prev, w_hh_d, out=gh)
+        gt = gx[t]
+        gt += gh
+        _sigmoid_into(gt[:, :h2], out=g_act[:, :h2])       # i | f
+        g = np.tanh(gt[:, h2:h3], out=g_act[:, h2:h3])
+        o = _sigmoid_into(gt[:, h3:], out=g_act[:, h3:])
+        i = g_act[:, :hidden]
+        f = g_act[:, hidden:h2]
+        c_mid = cmid[t] if needs_grad else scratch_cm
+        np.multiply(f, c_prev, out=c_mid)
+        np.multiply(i, g, out=tmp)
+        c_mid += tmp
+        tc = np.tanh(c_mid, out=tcs[t] if needs_grad else scratch_tc)
+        np.multiply(o, tc, out=h_new)
+        np.matmul(h_new, w_sh, out=pbuf)                   # stage gate
+        pbuf += sx[t]
+        s = _sigmoid_into(pbuf, out=s_stack[t] if needs_grad
+                          else scratch_s)
+        np.multiply(s, c_mid, out=c_new)                   # re-calibrate
+        if lengths is not None and t >= min_len:
+            frozen = lengths <= t
+            h_new[frozen] = h_prev[frozen]
+            c_new[frozen] = c_prev[frozen]
+
+    if return_sequences:
+        out_data = np.empty((batch, steps, hidden), dtype=dt)
+        if t_run:
+            out_data[:, :t_run] = h_stack[1:].swapaxes(0, 1)
+        if t_run < steps:
+            out_data[:, t_run:] = h_stack[t_run][:, None, :]
+    else:
+        out_data = h_stack[t_run].copy()
+
+    def backward(grad):
+        if return_sequences:
+            dh = grad[:, t_run:].sum(axis=1)
+        else:
+            dh = grad.copy()
+        dc = np.zeros((batch, hidden), dtype=dt)
+        dg = np.empty((t_run, batch, 4 * hidden), dtype=dt)
+        dp = np.empty((t_run, batch, 1), dtype=dt)
+        om = np.empty((batch, hidden), dtype=dt)
+        scr = np.empty_like(om)
+        dcm = np.empty_like(om)
+        for t in range(t_run - 1, -1, -1):
+            if return_sequences:
+                dh += grad[:, t]
+            g_act = gact[t]
+            i = g_act[:, :hidden]
+            f = g_act[:, hidden:h2]
+            g = g_act[:, h2:h3]
+            o = g_act[:, h3:]
+            tc = tcs[t]
+            c_mid = cmid[t]
+            s = s_stack[t]
+            c_prev = c_stack[t]
+            dg_t, dp_t = dg[t], dp[t]
+            d_i = dg_t[:, :hidden]
+            d_f = dg_t[:, hidden:h2]
+            d_g = dg_t[:, h2:h3]
+            d_o = dg_t[:, h3:]
+            frozen = None
+            if lengths is not None and t >= min_len:
+                frozen = lengths <= t
+            # Stage gate: c_t = s ⊙ c_mid with s = σ(h_t W_sh + sx).
+            np.multiply(dc, c_mid, out=scr)
+            ds = scr.sum(axis=-1, keepdims=True)
+            np.subtract(1.0, s, out=dp_t)            # d p = ds·s·(1-s)
+            dp_t *= s
+            dp_t *= ds
+            np.multiply(dc, s, out=dcm)              # d c_mid (stage leg)
+            dh_tot = dp_t @ w_sh.T                   # h_t feeds the gate
+            dh_tot += dh
+            np.multiply(dh_tot, tc, out=d_o)         # d_o_pre
+            d_o *= o
+            np.subtract(1.0, o, out=om)
+            d_o *= om
+            np.multiply(tc, tc, out=scr)             # dh -> dc via tanh
+            np.subtract(1.0, scr, out=scr)
+            scr *= o
+            scr *= dh_tot
+            dcm += scr
+            np.multiply(dcm, g, out=d_i)             # d_i_pre
+            d_i *= i
+            np.subtract(1.0, i, out=om)
+            d_i *= om
+            np.multiply(dcm, c_prev, out=d_f)        # d_f_pre
+            d_f *= f
+            np.subtract(1.0, f, out=om)
+            d_f *= om
+            np.multiply(g, g, out=d_g)               # d_g_pre
+            np.subtract(1.0, d_g, out=d_g)
+            d_g *= dcm
+            d_g *= i
+            if frozen is not None:
+                dg_t[frozen] = 0.0
+                dp_t[frozen] = 0.0
+            carry = dg_t @ w_hh_d.T
+            dc_next = np.multiply(dcm, f)
+            if frozen is not None:
+                carry[frozen] = dh[frozen]
+                dc_next[frozen] = dc[frozen]
+            dh = carry
+            dc = dc_next
+        dg_2d = dg.reshape(-1, 4 * hidden)
+        dp_2d = dp.reshape(-1, 1)
+        if x.requires_grad:
+            dx_2d = dg_2d @ w_ih.data.T
+            dx_2d += dp_2d @ w_sx.T
+            dx_tm = dx_2d.reshape(t_run, batch, num_in)
+            if t_run == steps:
+                grad_x = np.ascontiguousarray(dx_tm.swapaxes(0, 1))
+            else:
+                grad_x = np.zeros((batch, steps, num_in), dtype=dt)
+                grad_x[:, :t_run] = dx_tm.swapaxes(0, 1)
+            x._accumulate(grad_x, owned=True)
+        if h0.requires_grad:
+            h0._accumulate(dh, owned=True)
+        if c0.requires_grad:
+            c0._accumulate(dc, owned=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(x_2d.T @ dg_2d, owned=True)
+        if w_hh.requires_grad:
+            h_prev_2d = h_stack[:t_run].reshape(-1, hidden)
+            w_hh._accumulate(h_prev_2d.T @ dg_2d, owned=True)
+        if bias.requires_grad:
+            bias._accumulate(dg_2d.sum(axis=0), owned=True)
+        if stage_weight.requires_grad:
+            h_out_2d = h_stack[1:].reshape(-1, hidden)
+            stage_weight._accumulate(np.concatenate(
+                [h_out_2d.T @ dp_2d, x_2d.T @ dp_2d], axis=0), owned=True)
+        if stage_bias.requires_grad:
+            stage_bias._accumulate(dp_2d.sum(axis=0), owned=True)
+
+    return Tensor._make(
+        out_data, (x, h0, c0, w_ih, w_hh, bias, stage_weight, stage_bias),
+        backward)
+
+
 def gru_scan_step(x_t, h, w_ih, w_hh, b_ih, b_hh):
     """One inference-only GRU step, bit-identical to a :func:`gru_scan` step.
 
@@ -1696,6 +2234,106 @@ def lstm_scan_step(x_t, h, c, w_ih, w_hh, bias):
     tc = np.tanh(c_new)
     h_new = np.multiply(o, tc)
     return h_new, c_new
+
+
+def grud_scan_step(values_t, mask_t, deltas_t, h, input_decay,
+                   hidden_decay_w, hidden_decay_b, w_ih, w_hh, b_ih, b_hh):
+    """One inference-only GRU-D step, bit-identical to a :func:`grud_scan`
+    step; see :func:`gru_scan_step`.  All inputs are plain arrays;
+    ``mask_t`` must already be in the compute dtype.  Returns the new
+    hidden state.
+    """
+    channels = values_t.shape[-1]
+    hidden = h.shape[-1]
+    h2 = 2 * hidden
+    gamma_x = deltas_t * input_decay
+    np.maximum(gamma_x, 0.0, out=gamma_x)
+    np.negative(gamma_x, out=gamma_x)
+    np.exp(gamma_x, out=gamma_x)
+    xm = np.empty((values_t.shape[0], 2 * channels), dtype=gamma_x.dtype)
+    x_hat = xm[:, :channels]
+    np.subtract(1.0, mask_t, out=x_hat)          # (m + (1-m) γ_x) ⊙ v
+    x_hat *= gamma_x
+    x_hat += mask_t
+    x_hat *= values_t
+    xm[:, channels:] = mask_t
+    ph = _rowstable_matmul(deltas_t, hidden_decay_w)
+    ph += hidden_decay_b
+    np.maximum(ph, 0.0, out=ph)
+    np.negative(ph, out=ph)
+    gamma_h = np.exp(ph, out=ph)
+    heff = np.multiply(gamma_h, h)
+    gh = np.matmul(heff, w_hh)
+    gh += b_hh
+    gt = _rowstable_matmul(xm, w_ih)
+    gt += b_ih
+    gt[:, :h2] += gh[:, :h2]
+    g_act = np.empty_like(gt)
+    _sigmoid_into(gt[:, :h2], out=g_act[:, :h2])
+    z = g_act[:, :hidden]
+    r = g_act[:, hidden:h2]
+    nh = gh[:, h2:]
+    n_pre = gt[:, h2:]
+    n_pre += np.multiply(r, nh)
+    n = np.tanh(n_pre, out=g_act[:, h2:])
+    h_new = np.subtract(heff, n)                 # z*γ_h h + (1-z)*n
+    h_new *= z
+    h_new += n
+    return h_new
+
+
+def stagenet_scan_step(x_t, h, c, w_ih, w_hh, bias, stage_weight,
+                       stage_bias):
+    """One inference-only StageNet step, bit-identical to a
+    :func:`stagenet_scan` step; see :func:`gru_scan_step`.  Returns
+    ``(h_new, c_new)`` where ``c_new`` is the stage-recalibrated cell.
+    """
+    hidden = h.shape[-1]
+    h2, h3 = 2 * hidden, 3 * hidden
+    w_sh = stage_weight[:hidden]
+    w_sx = stage_weight[hidden:]
+    gh = np.matmul(h, w_hh)
+    gt = _rowstable_matmul(x_t, w_ih)
+    gt += bias
+    gt += gh
+    g_act = np.empty_like(gt)
+    _sigmoid_into(gt[:, :h2], out=g_act[:, :h2])       # i | f
+    g = np.tanh(gt[:, h2:h3], out=g_act[:, h2:h3])
+    o = _sigmoid_into(gt[:, h3:], out=g_act[:, h3:])
+    i = g_act[:, :hidden]
+    f = g_act[:, hidden:h2]
+    c_mid = np.multiply(f, c)
+    c_mid += np.multiply(i, g)
+    tc = np.tanh(c_mid)
+    h_new = np.multiply(o, tc)
+    p = np.matmul(h_new, w_sh)                         # stage gate
+    sxt = _rowstable_matmul(x_t, w_sx)
+    sxt += stage_bias
+    p += sxt
+    s = _sigmoid_into(p, out=p)
+    c_new = np.multiply(s, c_mid)
+    return h_new, c_new
+
+
+def linear_rows(x_t, weight, bias=None):
+    """Inference-only affine projection of one timestep slice.
+
+    ``x_t`` is a plain ``(batch, features)`` array; returns
+    ``x_t @ weight (+ bias)`` through :func:`_rowstable_matmul`, the
+    same row-stable GEMM class as a batched ``(B, T, F) @ (F, M)``
+    projection over a multi-step sequence.  Row ``b`` of the result is
+    therefore bit-identical to row ``(b, t)`` of the full-sequence
+    projection whenever ``T >= 2`` — which is what lets the incremental
+    streaming paths (RETAIN's visit embedding, SAnD's input embedding)
+    cache per-step projections instead of re-embedding the whole prefix
+    every step.  The lone exception is the ``T == 1`` prefix, whose
+    full-sequence projection runs in the GEMV regime; streaming models
+    serve that prefix via the exact full forward instead.
+    """
+    out = _rowstable_matmul(x_t, weight)
+    if bias is not None:
+        out += bias
+    return out
 
 
 # ----------------------------------------------------------------------

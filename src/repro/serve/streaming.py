@@ -20,11 +20,19 @@ mechanisms deliver it:
   exact ufunc tail and keep every GEMM in the BLAS row-stable regime
   (:func:`repro.nn.ops.gru_scan_step`), which is what makes the
   step-by-step arithmetic match the one-shot scan;
-* models that look at the whole sequence non-causally (reverse-time
-  RETAIN, bidirectional Dipole, SAnD's positional attention, the pooled
-  and ELDA heads) fall back to **exact prefix replay** — the session
-  buffers the fed steps and reruns the full forward, which is identical
-  by construction (same arrays, same forward).
+* models whose readout looks at the whole prefix non-causally but whose
+  per-step work is reusable (``stream_incremental = True``: RETAIN,
+  Dipole, SAnD, every ELDA-Net variant) stream through the same two
+  hooks with **incremental attention state** — cached per-step
+  projections and running recurrent states; each step computes only the
+  new timestep's projections plus the attention readout over the cache,
+  never re-projecting or re-encoding earlier steps (see
+  :func:`repro.nn.ops.linear_rows` for why the cached rows are
+  bit-stable);
+* models with neither flag (the set-style LR/FM/AFM heads) fall back to
+  **exact prefix replay** — the session buffers the fed steps and
+  reruns the full forward, which is identical by construction (same
+  arrays, same forward).
 
 Identity holds per batch width: a session over ``n`` admissions matches
 a full forward over those same ``n`` rows (BLAS kernels are chosen per
@@ -56,8 +64,9 @@ class StreamingSession:
     ----------
     model:
         Any registry model (an :class:`~repro.nn.InferenceMixin`).
-        Models advertising ``stream_native`` stream in O(1); the rest
-        stream by exact prefix replay.
+        Models advertising ``stream_native`` stream in O(1); models
+        advertising ``stream_incremental`` stream from cached
+        attention state; the rest stream by exact prefix replay.
     batch_size:
         Number of admissions fed per step.  Bit-identity is guaranteed
         against full forwards over this same number of rows.
@@ -81,13 +90,19 @@ class StreamingSession:
         self.spec = spec if spec is not None else getattr(model, "spec", None)
         self.metrics = metrics
         self.native = bool(getattr(model, "stream_native", False))
+        self.incremental = bool(getattr(model, "stream_incremental", False))
+        if self.native and self.incremental:
+            raise TypeError(
+                f"model {type(model).__name__} advertises both "
+                "stream_native and stream_incremental; the flags are "
+                "mutually exclusive")
         self.last_probs = None
         self._state = None
         self._steps = 0
         self._values = []
         self._masks = []
         self._deltas = []
-        if self.native:
+        if self.native or self.incremental:
             self._state = model.stream_begin(self.batch_size)
         if self.metrics is not None:
             self.metrics.record_stream_session()
@@ -103,7 +118,7 @@ class StreamingSession:
         self.last_probs = None
         self._values, self._masks, self._deltas = [], [], []
         self._state = (self.model.stream_begin(self.batch_size)
-                       if self.native else None)
+                       if self.native or self.incremental else None)
 
     # ------------------------------------------------------------------
     def _check_step(self, values_t, mask_t, deltas_t):
@@ -163,10 +178,15 @@ class StreamingSession:
         values_t, mask_t, deltas_t = self._check_step(
             values_t, mask_t, deltas_t)
         started = perf_counter()
-        if self.native:
+        if self.native or self.incremental:
             model = self.model
             was_training = model.training
             model.eval()
+            # Count the step up front: an incremental model that rejects
+            # a short prefix (attention needs two steps) has already
+            # recorded the observation into its state, mirroring the
+            # replay path's buffer-then-predict ordering.
+            self._steps += 1
             try:
                 with no_grad():
                     self._state, logits = model.stream_step(
@@ -180,7 +200,6 @@ class StreamingSession:
                     "graph state under no_grad")
             logits = np.asarray(getattr(logits, "data", logits),
                                 dtype=get_default_dtype())
-            self._steps += 1
         else:
             # Buffer first, then predict: a model that rejects short
             # prefixes (e.g. attention over t-1 earlier steps needs two)
@@ -191,8 +210,9 @@ class StreamingSession:
             self._steps += 1
             logits = self.model.predict_logits(self._prefix_dataset())
         if self.metrics is not None:
-            self.metrics.record_stream_step(perf_counter() - started,
-                                            native=self.native)
+            self.metrics.record_stream_step(
+                perf_counter() - started,
+                native=self.native or self.incremental)
         from ..metrics.probability import sigmoid_probs, softmax_probs
         probs = (sigmoid_probs(logits) if logits.ndim == 1
                  else softmax_probs(logits))

@@ -31,13 +31,19 @@ def floor_spec():
 
 
 def test_floor_file_is_well_formed(floor_spec):
-    assert floor_spec["schema"] == "repro.bench/perf-floor-v4"
+    assert floor_spec["schema"] == "repro.bench/perf-floor-v5"
     assert floor_spec["benchmark"]["fused_scan"] is True
     assert floor_spec["benchmark"]["bucket_by_length"] is True
     assert set(floor_spec["dtypes"]) == {"float32", "float64"}
     for entry in floor_spec["dtypes"].values():
         assert 0 < entry["floor_steps_per_sec"] \
             < entry["measured_steps_per_sec"]
+    assert set(floor_spec["scan_models"]) == {"GRU-D", "StageNet"}
+    for lanes in floor_spec["scan_models"].values():
+        assert set(lanes) == {"float32", "float64"}
+        for entry in lanes.values():
+            assert 0 < entry["floor_steps_per_sec"] \
+                < entry["measured_steps_per_sec"]
     capture = floor_spec["capture"]
     assert 1.0 < capture["floor_speedup"] < capture["measured_speedup"]
 
@@ -59,5 +65,31 @@ def test_training_throughput_above_floor(floor_spec, dtype):
         f"{result['steps_per_sec']:.1f} steps/sec is below the recorded "
         f"floor of {floor:.1f} "
         f"(measured when fused: {lane['measured_steps_per_sec']:.1f}). "
+        f"If this machine is genuinely slower, re-measure and update "
+        f"{FLOOR_PATH.name}; see docs/PERFORMANCE.md.")
+
+
+@pytest.mark.parametrize("model_name", ["GRU-D", "StageNet"])
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_scan_model_throughput_above_floor(floor_spec, model_name, dtype):
+    """GRU-D/StageNet route through their sequence-fused scans by default;
+    dropping below the floor means a scan routing silently regressed to
+    the per-step path (per-step float32 throughput sits under these
+    floors — see BENCH_9.json)."""
+    spec = floor_spec["benchmark"]
+    result = benchmark_training(
+        model_name=model_name, task=spec["task"], epochs=spec["epochs"],
+        num_admissions=spec["num_admissions"],
+        batch_size=spec["batch_size"], seed=spec["seed"],
+        fused=spec["fused"], fused_scan=True,
+        bucket_by_length=spec["bucket_by_length"],
+        with_profiler=False, dtype=dtype)
+    lane = floor_spec["scan_models"][model_name][dtype]
+    floor = lane["floor_steps_per_sec"]
+    assert result["steps_per_sec"] >= floor, (
+        f"{model_name} scan throughput regression under {dtype}: "
+        f"{result['steps_per_sec']:.1f} steps/sec is below the recorded "
+        f"floor of {floor:.1f} "
+        f"(measured with the scan: {lane['measured_steps_per_sec']:.1f}). "
         f"If this machine is genuinely slower, re-measure and update "
         f"{FLOOR_PATH.name}; see docs/PERFORMANCE.md.")

@@ -14,6 +14,7 @@ pattern (tests/nn/test_fused_equivalence.py).
 import numpy as np
 import pytest
 
+from repro.baselines import GRUD, StageNet
 from repro.nn import Tensor, ops
 from repro.nn.dtype import autocast
 from repro.nn.gradcheck import gradcheck
@@ -156,6 +157,85 @@ class TestLSTMScanEquivalence:
         _assert_paths_agree(layer, x, TOL)
 
 
+class _Batch:
+    """Minimal stand-in for the EMRDataset slice forward_batch consumes."""
+
+    def __init__(self, rng, batch, steps, channels):
+        self.values = rng.normal(size=(batch, steps, channels))
+        self.mask = (rng.random((batch, steps, channels)) < 0.6
+                     ).astype(np.float64)
+        self.deltas = np.abs(rng.normal(size=(batch, steps, channels))) + 0.5
+
+
+def _run_model(model, batch):
+    """Forward + backward of sum(logits^2); returns (logits, param grads).
+
+    A parameter the path never touched (e.g. the T=1 stage gate, whose
+    recalibrated cell is never read again on the step path) reports its
+    gradient as zeros — the scan paths accumulate explicit zeros there.
+    """
+    model.zero_grad()
+    logits = model.forward_batch(batch)
+    (logits * logits).sum().backward()
+    return logits.data.copy(), {
+        name: (np.zeros_like(p.data) if p.grad is None else p.grad.copy())
+        for name, p in model.named_parameters()}
+
+
+def _assert_model_paths_agree(model, batch, tol):
+    model.fused_scan = True
+    out_scan, grads_scan = _run_model(model, batch)
+    model.fused_scan = False
+    out_step, grads_step = _run_model(model, batch)
+    assert _max_diff(out_scan, out_step) < tol
+    assert grads_scan.keys() == grads_step.keys()
+    for name in grads_scan:
+        assert _max_diff(grads_scan[name], grads_step[name]) < tol, name
+
+
+class TestGRUDScanEquivalence:
+    """The decay-augmented scan against GRU-D's step-unrolled reference:
+    forward logits and the gradient of *every* parameter (decay rates,
+    decay projection, GRU kernels, head) within tolerance."""
+
+    @pytest.mark.parametrize("batch,steps", [(1, 6), (3, 6), (4, 1)])
+    def test_matches_reference_path(self, batch, steps, TOL):
+        rng = np.random.default_rng(batch * 10 + steps)
+        model = GRUD(3, np.random.default_rng(1), hidden_size=4)
+        _assert_model_paths_agree(model, _Batch(rng, batch, steps, 3), TOL)
+
+    def test_all_observed_and_none_observed_masks(self, TOL):
+        rng = np.random.default_rng(21)
+        model = GRUD(3, np.random.default_rng(2), hidden_size=4)
+        batch = _Batch(rng, 2, 5, 3)
+        for fill in (1.0, 0.0):      # decay path fully off / fully on
+            batch.mask = np.full_like(batch.mask, fill)
+            _assert_model_paths_agree(model, batch, TOL)
+
+    def test_no_grad_path_matches_grad_path(self):
+        rng = np.random.default_rng(22)
+        model = GRUD(3, np.random.default_rng(3), hidden_size=4)
+        batch = _Batch(rng, 2, 5, 3)
+        model.fused_scan = True
+        with no_grad():
+            lean = model.predict_logits(batch)
+        full = model.forward_batch(batch).data
+        np.testing.assert_array_equal(lean, full)
+
+
+class TestStageNetScanEquivalence:
+    """The stage-aware scan against StageNet's step-unrolled reference,
+    including the stage-gate parameters and the conv/attention head fed
+    by the scanned trajectory."""
+
+    @pytest.mark.parametrize("batch,steps", [(1, 6), (3, 6), (4, 1)])
+    def test_matches_reference_path(self, batch, steps, TOL):
+        rng = np.random.default_rng(batch * 10 + steps + 100)
+        model = StageNet(3, np.random.default_rng(1), hidden_size=6,
+                         conv_channels=4, kernel_size=3)
+        _assert_model_paths_agree(model, _Batch(rng, batch, steps, 3), TOL)
+
+
 class TestScanOpValidation:
     def test_gru_scan_rejects_2d_input(self):
         with pytest.raises(ValueError, match="gru_scan expects"):
@@ -184,6 +264,64 @@ class TestScanOpValidation:
                          np.zeros((3, 12)), np.zeros((4, 12)),
                          np.zeros(12), np.zeros(12), lengths=bad)
 
+    def test_grud_scan_rejects_mismatched_mask(self):
+        with pytest.raises(ValueError, match="grud_scan mask"):
+            ops.grud_scan(np.zeros((2, 3, 5)), np.zeros((2, 4, 5)),
+                          np.zeros((2, 3, 5)), np.zeros((2, 4)),
+                          np.zeros(5), np.zeros((5, 4)), np.zeros(4),
+                          np.zeros((10, 12)), np.zeros((4, 12)),
+                          np.zeros(12), np.zeros(12))
+
+    def test_stagenet_scan_rejects_mismatched_stage_gate(self):
+        with pytest.raises(ValueError, match="stagenet_scan shapes"):
+            ops.stagenet_scan(np.zeros((2, 3, 5)), np.zeros((2, 4)),
+                              np.zeros((2, 4)), np.zeros((5, 16)),
+                              np.zeros((4, 16)), np.zeros(16),
+                              np.zeros((8, 1)), np.zeros(1))
+
+
+class TestScanRaggedGradients:
+    """Frozen-row semantics of the new scans at the op level: rows past
+    their length repeat the final state and contribute zero gradient to
+    the padded input timesteps."""
+
+    def test_grud_scan_frozen_rows_and_padded_grads(self):
+        rng = np.random.default_rng(31)
+        values = Tensor(rng.normal(size=(2, 5, 3)), requires_grad=True)
+        deltas = Tensor(np.abs(rng.normal(size=(2, 5, 3))) + 0.5,
+                        requires_grad=True)
+        mask = (rng.random((2, 5, 3)) < 0.6).astype(np.float64)
+        out = ops.grud_scan(
+            values, mask, deltas, Tensor(np.zeros((2, 2))),
+            Tensor(np.full(3, 0.1)), Tensor(rng.normal(size=(3, 2)) * 0.5),
+            Tensor(np.zeros(2)), Tensor(rng.normal(size=(6, 6)) * 0.5),
+            Tensor(rng.normal(size=(2, 6)) * 0.5), Tensor(np.zeros(6)),
+            Tensor(np.zeros(6)), lengths=np.array([2, 5]),
+            return_sequences=True)
+        (out * out).sum().backward()
+        np.testing.assert_array_equal(
+            out.data[0, 2:], np.broadcast_to(out.data[0, 1], (3, 2)))
+        assert np.all(values.grad[0, 2:] == 0.0)
+        assert np.all(deltas.grad[0, 2:] == 0.0)
+        assert np.any(values.grad[0, :2] != 0.0)
+        assert np.any(values.grad[1, 4:] != 0.0)
+
+    def test_stagenet_scan_frozen_rows_and_padded_grads(self):
+        rng = np.random.default_rng(32)
+        x = Tensor(rng.normal(size=(2, 5, 3)), requires_grad=True)
+        out = ops.stagenet_scan(
+            x, Tensor(np.zeros((2, 2))), Tensor(np.zeros((2, 2))),
+            Tensor(rng.normal(size=(3, 8)) * 0.5),
+            Tensor(rng.normal(size=(2, 8)) * 0.5), Tensor(np.zeros(8)),
+            Tensor(rng.normal(size=(5, 1)) * 0.5), Tensor(np.zeros(1)),
+            lengths=np.array([2, 5]))
+        (out * out).sum().backward()
+        np.testing.assert_array_equal(
+            out.data[0, 2:], np.broadcast_to(out.data[0, 1], (3, 2)))
+        assert np.all(x.grad[0, 2:] == 0.0)
+        assert np.any(x.grad[0, :2] != 0.0)
+        assert np.any(x.grad[1, 4:] != 0.0)
+
 
 class TestScanRegistryCoverage:
     """Satellite: the scan ops are first-class registry citizens, so the
@@ -191,7 +329,8 @@ class TestScanRegistryCoverage:
     gradcheck itself forces float64 per the PR 5 contract even when
     entered from the float32 lane)."""
 
-    @pytest.mark.parametrize("name", ["gru_scan", "lstm_scan"])
+    @pytest.mark.parametrize("name", ["gru_scan", "lstm_scan",
+                                      "grud_scan", "stagenet_scan"])
     def test_registered_with_sample_factory(self, name):
         registry = ops.registered_ops()
         assert name in registry

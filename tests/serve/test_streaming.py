@@ -4,7 +4,9 @@ The contract under test is the serving tier's strongest claim: after
 ``t`` calls to :meth:`StreamingSession.step`, the returned probabilities
 equal ``predict_proba`` over the same ``t``-step prefix **bit for bit**,
 in both dtype planes — whether the model streams natively (O(1) state
-updates through ``stream_step``) or by exact prefix replay.
+updates through ``stream_step``), incrementally (cached per-step
+projections + attention readout over the cache), or by exact prefix
+replay.
 """
 
 import numpy as np
@@ -21,6 +23,9 @@ from repro.serve import (Predictor, ServeMetrics, SessionStore,
 pytestmark = pytest.mark.serve
 
 NATIVE_MODELS = {"GRU", "GRU-D", "StageNet", "ConCare"}
+INCREMENTAL_MODELS = {"RETAIN", "Dipole_l", "Dipole_g", "Dipole_c", "SAnD",
+                      "ELDA-Net", "ELDA-Net-T", "ELDA-Net-Fbi",
+                      "ELDA-Net-Fbi*", "ELDA-Net-Ffm", "ELDA-Net-Ffm*"}
 PREFIX_STEPS = 5
 
 
@@ -51,6 +56,8 @@ def _stream_vs_full(model_name, batch, dtype):
         predictor = Predictor(model)
         assert bool(getattr(model, "stream_native", False)) == \
             (model_name in NATIVE_MODELS)
+        assert bool(getattr(model, "stream_incremental", False)) == \
+            (model_name in INCREMENTAL_MODELS)
         session = predictor.start_stream(batch_size=len(batch))
         covered = 0
         for t in range(1, batch.num_time_steps + 1):
@@ -84,7 +91,8 @@ def test_streaming_bit_identity_float32(model_name, stream_batch):
     _stream_vs_full(model_name, stream_batch, np.float32)
 
 
-@pytest.mark.parametrize("model_name", sorted(NATIVE_MODELS))
+@pytest.mark.parametrize("model_name",
+                         sorted(NATIVE_MODELS | INCREMENTAL_MODELS))
 def test_single_admission_streams_bit_identically(model_name, stream_batch):
     """n=1 is the serving case — and the BLAS row-stability danger zone."""
     _stream_vs_full(model_name, stream_batch.subset([0]),
@@ -170,7 +178,34 @@ class TestSessionBehavior:
         assert payload["steps"] == 2
         assert payload["native_steps"] == 2
 
-    def test_replay_model_buffers_rejected_short_prefix(self, stream_batch):
+    def test_incremental_steps_count_as_native(self, stream_batch):
+        """Incremental attention streaming shares the native counter:
+        the schema stays two-bucket (native vs replay) and incremental
+        steps are by construction not replays."""
+        metrics = ServeMetrics()
+        model = build_model("RETAIN", NUM_FEATURES, np.random.default_rng(0))
+        predictor = Predictor(model, metrics=metrics)
+        session = predictor.start_stream(batch_size=2)
+        session.step(stream_batch.values[:, 0])
+        session.step(stream_batch.values[:, 1])
+        payload = metrics.as_dict()["stream"]
+        assert payload["sessions"] == 1
+        assert payload["steps"] == 2
+        assert payload["native_steps"] == 2
+        assert set(payload) >= {"sessions", "steps", "native_steps"}
+
+    def test_incremental_reset_restarts_from_zero(self, stream_batch):
+        model = build_model("RETAIN", NUM_FEATURES, np.random.default_rng(0))
+        session = Predictor(model).start_stream(batch_size=2)
+        first = session.step(stream_batch.values[:, 0])
+        session.step(stream_batch.values[:, 1])
+        session.reset()
+        assert session.steps == 0
+        again = session.step(stream_batch.values[:, 0])
+        assert np.array_equal(first, again)
+
+    def test_incremental_model_buffers_rejected_short_prefix(
+            self, stream_batch):
         """Dipole needs >= 2 steps; the t=1 observation must survive."""
         model = build_model("Dipole_l", NUM_FEATURES,
                             np.random.default_rng(0))
